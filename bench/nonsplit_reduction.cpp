@@ -1,0 +1,87 @@
+// SEC4-NONSPLIT: the machinery behind the pre-paper O(n log log n) bound —
+//   (a) broadcast under nonsplit adversaries is logarithmic [2]/[9];
+//   (b) the product of n−1 rooted trees is nonsplit [1], and random
+//       sequences usually get there much earlier.
+//
+// Usage: nonsplit_reduction [--sizes=8:2048:2] [--seed=1] [--trials=10]
+#include <iostream>
+
+#include "src/bounds/bounds.h"
+#include "src/nonsplit/nonsplit.h"
+#include "src/nonsplit/reduction.h"
+#include "src/support/options.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const auto sizes = parseSizeList(opts.getString("sizes", "8:2048:2"));
+  const std::uint64_t seed = opts.getUInt("seed", 1);
+  const std::size_t trials = opts.getUInt("trials", 10);
+  Rng rng(seed);
+
+  std::cout << "SEC4 — nonsplit adversaries and the tree-product reduction "
+               "(seed=" << seed << ")\n\n";
+
+  std::cout << "(a) broadcast under nonsplit adversaries vs ceil(log2 n):\n";
+  TextTable logTable({"n", "random nonsplit t*", "skewed nonsplit t*",
+                      "ceil(log2 n)"});
+  for (const std::size_t n : sizes) {
+    double randAvg = 0, skewAvg = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      randAvg += static_cast<double>(
+          runNonsplitBroadcast(
+              n, [n](Rng& r) { return randomNonsplitGraph(n, 2 * n, r); },
+              bounds::nonsplitLogUpper(n) + 8, rng)
+              .rounds);
+      skewAvg += static_cast<double>(
+          runNonsplitBroadcast(
+              n, [n](Rng& r) { return skewedNonsplitGraph(n, r); },
+              bounds::nonsplitLogUpper(n) + 8, rng)
+              .rounds);
+    }
+    logTable.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(randAvg / static_cast<double>(trials), 2)
+        .add(skewAvg / static_cast<double>(trials), 2)
+        .add(bounds::nonsplitLogUpper(n));
+  }
+  std::cout << logTable.render() << '\n';
+
+  std::cout << "(b) rounds of rooted trees until the product is nonsplit "
+               "(lemma of [1]: never more than n-1):\n";
+  TextTable redTable({"n", "random trees avg prefix", "random paths avg",
+                      "static path (worst case)", "bound n-1"});
+  for (const std::size_t n : sizes) {
+    if (n > 512) break;  // prefix scan is O(n^3) per trial; keep it snappy
+    double treeAvg = 0, pathAvg = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      std::vector<RootedTree> trees, paths;
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        trees.push_back(randomRootedTree(n, rng));
+        paths.push_back(randomPath(n, rng));
+      }
+      treeAvg += static_cast<double>(nonsplitPrefixLength(trees));
+      pathAvg += static_cast<double>(nonsplitPrefixLength(paths));
+    }
+    std::vector<RootedTree> worst(n - 1, makePath(n));
+    redTable.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(treeAvg / static_cast<double>(trials), 2)
+        .add(pathAvg / static_cast<double>(trials), 2)
+        .add(static_cast<std::uint64_t>(nonsplitPrefixLength(worst)))
+        .add(static_cast<std::uint64_t>(n - 1));
+  }
+  std::cout << redTable.render() << '\n';
+  std::cout << "reading: (a) every nonsplit run is within the ceil(log2 n) "
+               "bound of [2]; random instances are far faster (dense "
+               "common-in-neighbor structure) — the Theta(log log n)-tight "
+               "instances of [9] need their bespoke construction, which is "
+               "out of scope (see EXPERIMENTS.md). (b) static paths realize "
+               "the n-1 worst case of the reduction of [1] exactly, while "
+               "random sequences become nonsplit after ~log2 n rounds.\n";
+  return 0;
+}

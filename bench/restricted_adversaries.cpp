@@ -1,0 +1,63 @@
+// SEC4-RESTRICTED: the restricted adversary classes of [14] that the paper
+// cites in Figure 1 — trees with exactly k leaves or exactly k inner
+// nodes. Broadcast under either class is O(kn); measured times should
+// grow linearly in n for fixed k and stay far below the unrestricted
+// upper bound once k ≪ n.
+//
+// Usage: restricted_adversaries [--sizes=16:512:2] [--ks=2,3,4,8] [--seed=1]
+#include <iostream>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/oblivious.h"
+#include "src/bounds/bounds.h"
+#include "src/support/options.h"
+#include "src/support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const auto sizes = parseSizeList(opts.getString("sizes", "16:512:2"));
+  const auto ks = parseSizeList(opts.getString("ks", "2,3,4,8"));
+  const std::uint64_t seed = opts.getUInt("seed", 1);
+
+  std::cout << "SEC4 — restricted adversaries of [14] (seed=" << seed
+            << ")\n\n";
+
+  TextTable table({"n", "k", "random k-leaf t*", "random k-inner t*",
+                   "delaying k-leaf t*", "delaying k-inner t*",
+                   "O(kn) bound", "unrestricted UB"});
+  for (const std::size_t n : sizes) {
+    for (const std::size_t k : ks) {
+      if (k >= n) continue;
+      KLeafAdversary leaf(n, k, seed);
+      KInnerAdversary inner(n, k, seed ^ 0xabcdull);
+      // Delaying members of each class: a broom with handle n−k has
+      // exactly k leaves; a broom with handle k has exactly k inner nodes.
+      FreezeBroomAdversary delayLeaf(n, n - k);
+      FreezeBroomAdversary delayInner(n, k);
+      // Cap generously: the O(kn) bound plus slack.
+      const std::size_t cap = bounds::kLeafUpper(n, k) + 4 * n;
+      const BroadcastRun leafRun = runAdversary(n, leaf, cap);
+      const BroadcastRun innerRun = runAdversary(n, inner, cap);
+      const BroadcastRun delayLeafRun = runAdversary(n, delayLeaf, cap);
+      const BroadcastRun delayInnerRun = runAdversary(n, delayInner, cap);
+      table.row()
+          .add(static_cast<std::uint64_t>(n))
+          .add(static_cast<std::uint64_t>(k))
+          .add(static_cast<std::uint64_t>(leafRun.rounds))
+          .add(static_cast<std::uint64_t>(innerRun.rounds))
+          .add(static_cast<std::uint64_t>(delayLeafRun.rounds))
+          .add(static_cast<std::uint64_t>(delayInnerRun.rounds))
+          .add(bounds::kLeafUpper(n, k))
+          .add(bounds::linearUpper(n));
+    }
+  }
+  std::cout << table.render() << '\n';
+  std::cout << "reading: random members of either class broadcast in "
+               "O(log n) — restriction alone is not slowness. The delaying "
+               "members realize the linear regime: the k-leaf column grows "
+               "like n-k (handle length), staying within [14]'s O(kn) "
+               "bound, while the k-inner delayer is capped near its height "
+               "k. Worst cases in both classes are linear for constant k.\n";
+  return 0;
+}

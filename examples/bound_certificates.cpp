@@ -1,0 +1,52 @@
+// Bound certificates: produce an auditable artifact for one instance — a
+// recorded trace whose replay independently confirms the claimed t*, plus
+// the Theorem 3.1 verdict. This is how a skeptical reviewer would consume
+// the library's lower-bound witnesses.
+//
+//   $ bound_certificates [--n=24] [--seed=5] [--out=certificate.csv]
+#include <iostream>
+
+#include "src/adversary/adaptive.h"
+#include "src/analysis/csv.h"
+#include "src/bounds/theorem.h"
+#include "src/sim/trace.h"
+#include "src/support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const std::size_t n = opts.getUInt("n", 24);
+  const std::uint64_t seed = opts.getUInt("seed", 5);
+
+  std::cout << "certifying a lower-bound witness at n = " << n << "\n\n";
+
+  GreedyDelayAdversary adversary(n, seed);
+  bool completed = false;
+  const SimTrace trace = recordBroadcastTrace(
+      n,
+      [&adversary](const BroadcastSim& s) { return adversary.nextTree(s); },
+      defaultRoundCap(n), seed, &completed);
+
+  if (!completed) {
+    std::cout << "run hit the cap — no certificate\n";
+    return 1;
+  }
+
+  // Independent replay: a fresh simulator re-executes the recorded tree
+  // sequence and must reach broadcast at the same round with identical
+  // per-round metrics (replayAndVerify throws otherwise).
+  const std::size_t replayed = trace.replayAndVerify();
+  std::cout << "claimed t*: " << trace.roundCount() << '\n';
+  std::cout << "independent replay confirms: " << replayed << '\n';
+
+  const TheoremCheck check = checkTheorem31(n, replayed);
+  std::cout << "certificate: t*(T_" << n << ") >= " << replayed
+            << " (witnessed), theorem bracket [" << check.lower << ", "
+            << check.upper << "]\n";
+
+  if (opts.has("out")) {
+    writeFile(opts.getString("out", "certificate.csv"), trace.toCsv());
+    std::cout << "trace exported for external audit\n";
+  }
+  return replayed == trace.roundCount() ? 0 : 1;
+}

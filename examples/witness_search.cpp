@@ -1,0 +1,56 @@
+// Witness search: find, verify, and display a long adversarial tree
+// sequence — a constructive lower-bound witness for t*(T_n) beyond the
+// reach of exhaustive solving.
+//
+//   $ witness_search [--n=16] [--seed=7] [--beam=256] [--restarts=3]
+#include <iostream>
+
+#include "src/adversary/beam.h"
+#include "src/bounds/theorem.h"
+#include "src/support/options.h"
+#include "src/support/table.h"
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  const Options opts(argc, argv);
+  const std::size_t n = opts.getUInt("n", 16);
+  const std::uint64_t seed = opts.getUInt("seed", 7);
+  const std::size_t restarts = opts.getUInt("restarts", 3);
+
+  BeamConfig cfg;
+  cfg.beamWidth = opts.getUInt("beam", 256);
+  cfg.randomMovesPerState = 8;
+  cfg.diversityPercent = 40;
+
+  std::cout << "beam witness search at n = " << n << " (beam "
+            << cfg.beamWidth << ", " << restarts << " restarts)\n\n";
+
+  BeamResult best;
+  for (std::size_t r = 0; r < restarts; ++r) {
+    BeamResult attempt = beamSearchWitness(n, seed + r, cfg);
+    std::cout << "restart " << r << ": " << attempt.rounds << " rounds ("
+              << attempt.statesExpanded << " states)\n";
+    if (attempt.rounds > best.rounds) best = std::move(attempt);
+  }
+
+  const std::size_t verified = verifyWitness(n, best.witness);
+  std::cout << "\nbest witness: " << best.rounds
+            << " rounds; independent replay says " << verified << '\n';
+
+  const TheoremCheck check = checkTheorem31(n, verified);
+  std::cout << "Theorem 3.1: t*(T_" << n << ") >= " << verified
+            << ", bracket [" << check.lower << ", " << check.upper
+            << "], ratio " << check.ratio << '\n';
+  std::cout << "static baseline (best single tree): " << n - 1 << " — "
+            << (verified > n - 1 ? "beaten: dynamic adversaries are "
+                                   "strictly stronger"
+                                 : "not beaten at this search effort")
+            << '\n';
+
+  std::cout << "\nfirst five moves of the witness:\n";
+  for (std::size_t i = 0; i < best.witness.size() && i < 5; ++i) {
+    std::cout << "  round " << i + 1 << ": " << best.witness[i].toString()
+              << '\n';
+  }
+  return verified == best.rounds ? 0 : 1;
+}

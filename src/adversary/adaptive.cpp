@@ -1,0 +1,369 @@
+#include "src/adversary/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/support/assert.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+
+std::vector<std::size_t> coverageCounts(const BroadcastSim& state) {
+  const std::size_t n = state.processCount();
+  std::vector<std::size_t> coverage(n, 0);
+  for (std::size_t y = 0; y < n; ++y) {
+    const DynBitset& h = state.heardBy(y);
+    for (std::size_t x = h.findFirst(); x < n; x = h.findNext(x + 1)) {
+      ++coverage[x];
+    }
+  }
+  return coverage;
+}
+
+DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
+                             const std::vector<std::size_t>& coverage,
+                             const RootedTree& tree,
+                             std::vector<std::size_t>* coverageOut) {
+  const std::size_t n = heard.size();
+  DYNBCAST_ASSERT(tree.size() == n && coverage.size() == n);
+  std::vector<std::size_t> cov = coverage;
+  DelayScore score;
+  // Walk the tree in reverse BFS exactly like the simulator would, but
+  // only materialize the deltas: for each node, the processes it newly
+  // learns about bump their coverage. The work is proportional to the
+  // number of new product-graph edges, which a good adversary keeps low.
+  std::vector<DynBitset> scratch = heard;
+  const std::vector<std::size_t> order = tree.bfsOrder();
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::size_t y = order[i];
+    const std::size_t p = tree.parent(y);
+    if (p == y) continue;
+    DynBitset delta = scratch[p];
+    delta.subtract(scratch[y]);
+    for (std::size_t x = delta.findFirst(); x < n; x = delta.findNext(x + 1)) {
+      ++cov[x];
+      ++score.newEdges;
+    }
+    scratch[y].orWith(scratch[p]);
+  }
+  for (const std::size_t c : cov) {
+    score.maxCoverage = std::max(score.maxCoverage, c);
+    if (c == n) score.finishes = true;
+    score.potential +=
+        std::exp2(static_cast<double>(std::min<std::size_t>(c, 50)));
+  }
+  if (coverageOut != nullptr) *coverageOut = std::move(cov);
+  return score;
+}
+
+std::vector<std::size_t> freezeOrdering(
+    const BroadcastSim& state, const std::vector<std::size_t>& leaders,
+    const std::vector<std::size_t>& baseOrder) {
+  const std::size_t n = state.processCount();
+  DYNBCAST_ASSERT(baseOrder.size() == n);
+  // Stable sort by the knower signature only: for the primary leader,
+  // non-knowers strictly before knowers; ties resolved by the next
+  // leader; everything else keeps its baseOrder position. std::stable_sort
+  // delivers exactly that semantics.
+  std::vector<std::size_t> order = baseOrder;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     for (const std::size_t x : leaders) {
+                       const bool ka = state.heardBy(a).test(x);
+                       const bool kb = state.heardBy(b).test(x);
+                       if (ka != kb) return !ka;  // non-knowers first
+                     }
+                     return false;  // equal signature: keep stable order
+                   });
+  return order;
+}
+
+namespace {
+
+RootedTree buildDamageTreeImpl(const BroadcastSim& state,
+                               const std::vector<std::size_t>& coverage,
+                               std::size_t root, double noiseAmplitude,
+                               Rng* rng) {
+  const std::size_t n = state.processCount();
+  DYNBCAST_ASSERT(root < n && coverage.size() == n);
+  // Exponential coverage weights: leaking a process with coverage c costs
+  // 2^min(c, 50); a process at coverage n−1 would finish the game, so it
+  // dominates every other consideration. Optional multiplicative noise
+  // diversifies the construction for search adversaries.
+  std::vector<double> weight(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    const double capped = static_cast<double>(std::min<std::size_t>(
+        coverage[x], 50));
+    weight[x] = std::exp2(capped) * (coverage[x] + 1 >= n ? 1e6 : 1.0);
+    if (noiseAmplitude > 0.0 && rng != nullptr) {
+      weight[x] *= 1.0 + noiseAmplitude * rng->uniformReal();
+    }
+  }
+  const auto damage = [&](std::size_t p, std::size_t y) {
+    DynBitset delta = state.heardBy(p);
+    delta.subtract(state.heardBy(y));
+    double d = 0.0;
+    for (std::size_t x = delta.findFirst(); x < n;
+         x = delta.findNext(x + 1)) {
+      d += weight[x];
+    }
+    return d;
+  };
+  // Prim's algorithm over the complete damage graph: heard sets are
+  // start-of-round snapshots, so edge costs never change mid-build.
+  std::vector<std::size_t> parent(n, n);
+  std::vector<double> bestCost(n, 0.0);
+  std::vector<bool> attached(n, false);
+  parent[root] = root;
+  attached[root] = true;
+  for (std::size_t y = 0; y < n; ++y) {
+    if (y != root) {
+      parent[y] = root;
+      bestCost[y] = damage(root, y);
+    }
+  }
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = n;
+    for (std::size_t y = 0; y < n; ++y) {
+      if (!attached[y] && (pick == n || bestCost[y] < bestCost[pick])) {
+        pick = y;
+      }
+    }
+    attached[pick] = true;
+    for (std::size_t y = 0; y < n; ++y) {
+      if (!attached[y]) {
+        const double c = damage(pick, y);
+        if (c < bestCost[y]) {
+          bestCost[y] = c;
+          parent[y] = pick;
+        }
+      }
+    }
+  }
+  return RootedTree(root, std::move(parent));
+}
+
+}  // namespace
+
+RootedTree buildDamageGreedyTree(const BroadcastSim& state,
+                                 const std::vector<std::size_t>& coverage,
+                                 std::size_t root) {
+  return buildDamageTreeImpl(state, coverage, root, 0.0, nullptr);
+}
+
+RootedTree buildNoisyDamageTree(const BroadcastSim& state,
+                                const std::vector<std::size_t>& coverage,
+                                std::size_t root, double amplitude,
+                                Rng& rng) {
+  return buildDamageTreeImpl(state, coverage, root, amplitude, &rng);
+}
+
+namespace {
+
+std::vector<std::size_t> identityOrder(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  return order;
+}
+
+/// Top-`depth` coverage leaders, highest coverage first (ties by id).
+std::vector<std::size_t> topLeaders(const std::vector<std::size_t>& coverage,
+                                    std::size_t depth) {
+  std::vector<std::size_t> ids(coverage.size());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  const std::size_t take = std::min(depth, ids.size());
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](std::size_t a, std::size_t b) {
+                      if (coverage[a] != coverage[b]) {
+                        return coverage[a] > coverage[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+}  // namespace
+
+FreezePathAdversary::FreezePathAdversary(std::size_t n, std::size_t depth)
+    : n_(n), depth_(depth), order_(identityOrder(n)) {
+  DYNBCAST_ASSERT(depth >= 1);
+}
+
+void FreezePathAdversary::reset() { order_ = identityOrder(n_); }
+
+RootedTree FreezePathAdversary::nextTree(const BroadcastSim& state) {
+  DYNBCAST_ASSERT(state.processCount() == n_);
+  const std::vector<std::size_t> coverage = coverageCounts(state);
+  order_ = freezeOrdering(state, topLeaders(coverage, depth_), order_);
+  return makePath(order_);
+}
+
+std::string FreezePathAdversary::name() const {
+  return "freeze-path[d=" + std::to_string(depth_) + "]";
+}
+
+FreezeBroomAdversary::FreezeBroomAdversary(std::size_t n,
+                                           std::size_t handleLen)
+    : n_(n), handleLen_(handleLen), order_(identityOrder(n)) {
+  DYNBCAST_ASSERT(handleLen >= 1 && handleLen <= n);
+}
+
+void FreezeBroomAdversary::reset() { order_ = identityOrder(n_); }
+
+RootedTree FreezeBroomAdversary::nextTree(const BroadcastSim& state) {
+  DYNBCAST_ASSERT(state.processCount() == n_);
+  const std::vector<std::size_t> coverage = coverageCounts(state);
+  order_ = freezeOrdering(state, topLeaders(coverage, 2), order_);
+  return makeBroom(order_, handleLen_);
+}
+
+std::string FreezeBroomAdversary::name() const {
+  return "freeze-broom[h=" + std::to_string(handleLen_) + "]";
+}
+
+HeardOrderPathAdversary::HeardOrderPathAdversary(std::size_t n,
+                                                 bool ascending)
+    : n_(n), ascending_(ascending) {}
+
+RootedTree HeardOrderPathAdversary::nextTree(const BroadcastSim& state) {
+  DYNBCAST_ASSERT(state.processCount() == n_);
+  std::vector<std::size_t> order = identityOrder(n_);
+  std::vector<std::size_t> heardSize(n_);
+  for (std::size_t y = 0; y < n_; ++y) {
+    heardSize[y] = state.heardBy(y).count();
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return ascending_ ? heardSize[a] < heardSize[b]
+                                       : heardSize[a] > heardSize[b];
+                   });
+  return makePath(order);
+}
+
+std::string HeardOrderPathAdversary::name() const {
+  return ascending_ ? "heard-asc-path" : "heard-desc-path";
+}
+
+GreedyDelayAdversary::GreedyDelayAdversary(std::size_t n, std::uint64_t seed,
+                                           GreedyDelayConfig config)
+    : n_(n),
+      seed_(seed),
+      rng_(seed),
+      config_(config),
+      order_(identityOrder(n)) {}
+
+void GreedyDelayAdversary::reset() {
+  rng_ = Rng(seed_);
+  order_ = identityOrder(n_);
+}
+
+RootedTree GreedyDelayAdversary::nextTree(const BroadcastSim& state) {
+  DYNBCAST_ASSERT(state.processCount() == n_);
+  const std::vector<std::size_t> coverage = coverageCounts(state);
+  const std::vector<DynBitset>& heard = state.heardMatrix();
+
+  // Candidate orders (paths); trees that are not plain paths are kept in
+  // a separate list so the winning PATH can seed next round's stability.
+  std::vector<std::vector<std::size_t>> orders;
+  if (config_.includePrevious) {
+    orders.push_back(order_);
+  }
+  for (std::size_t d = 1; d <= config_.freezeDepthMax && d <= n_; ++d) {
+    orders.push_back(freezeOrdering(state, topLeaders(coverage, d), order_));
+  }
+  if (config_.includeRotations && n_ >= 2) {
+    std::vector<std::size_t> headToTail(order_.begin() + 1, order_.end());
+    headToTail.push_back(order_.front());
+    orders.push_back(std::move(headToTail));
+    std::vector<std::size_t> tailToHead{order_.back()};
+    tailToHead.insert(tailToHead.end(), order_.begin(), order_.end() - 1);
+    orders.push_back(std::move(tailToHead));
+  }
+  if (config_.includeHeardOrders) {
+    HeardOrderPathAdversary asc(n_, true);
+    HeardOrderPathAdversary desc(n_, false);
+    orders.push_back(asc.nextTree(state).bfsOrder());
+    orders.push_back(desc.nextTree(state).bfsOrder());
+  }
+  for (std::size_t i = 0; i < config_.randomPaths; ++i) {
+    orders.push_back(rng_.permutation(n_));
+  }
+
+  std::vector<RootedTree> extraTrees;
+  if (config_.includeBrooms && n_ >= 3) {
+    // Broom over the primary freeze order: the knower block becomes the
+    // bristles (they receive but feed nobody).
+    const std::vector<std::size_t> freezeOrder =
+        freezeOrdering(state, topLeaders(coverage, 1), order_);
+    const std::size_t leader = topLeaders(coverage, 1).front();
+    std::size_t firstKnower = n_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (state.heardBy(freezeOrder[i]).test(leader)) {
+        firstKnower = i;
+        break;
+      }
+    }
+    if (firstKnower >= 2 && firstKnower < n_) {
+      extraTrees.push_back(makeBroom(freezeOrder, firstKnower));
+    }
+  }
+  for (std::size_t i = 0; i < config_.randomTrees; ++i) {
+    extraTrees.push_back(randomRootedTree(n_, rng_));
+  }
+  if (config_.damageTreeRoots > 0) {
+    // Damage-greedy trees: the balanced-coverage move family that exact
+    // optimal play favors. Root picks: lowest-coverage process (its info
+    // is safest to spread), highest-heard process (it gains nothing by
+    // receiving anyway), plus random extras.
+    std::vector<std::size_t> roots;
+    roots.push_back(static_cast<std::size_t>(
+        std::min_element(coverage.begin(), coverage.end()) -
+        coverage.begin()));
+    if (config_.damageTreeRoots >= 2) {
+      std::size_t maxHeard = 0;
+      for (std::size_t y = 1; y < n_; ++y) {
+        if (heard[y].count() > heard[maxHeard].count()) maxHeard = y;
+      }
+      roots.push_back(maxHeard);
+    }
+    while (roots.size() < config_.damageTreeRoots) {
+      roots.push_back(rng_.uniform(n_));
+    }
+    for (const std::size_t r : roots) {
+      extraTrees.push_back(buildDamageGreedyTree(state, coverage, r));
+    }
+  }
+
+  // Evaluate everything; prefer path candidates on ties (stability).
+  bool bestIsPath = true;
+  std::size_t bestIdx = 0;
+  DelayScore bestScore =
+      evaluateCandidate(heard, coverage, makePath(orders[0]));
+  for (std::size_t i = 1; i < orders.size(); ++i) {
+    const DelayScore s = evaluateCandidate(heard, coverage,
+                                           makePath(orders[i]));
+    if (s < bestScore) {
+      bestScore = s;
+      bestIdx = i;
+    }
+  }
+  for (std::size_t i = 0; i < extraTrees.size(); ++i) {
+    const DelayScore s = evaluateCandidate(heard, coverage, extraTrees[i]);
+    if (s < bestScore) {
+      bestScore = s;
+      bestIdx = i;
+      bestIsPath = false;
+    }
+  }
+  if (bestIsPath) {
+    order_ = orders[bestIdx];
+    return makePath(order_);
+  }
+  return extraTrees[bestIdx];
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,24 @@
+#include "src/adversary/adversary.h"
+
+#include <cmath>
+
+namespace dynbcast {
+
+BroadcastRun runAdversary(std::size_t n, Adversary& adversary,
+                          std::size_t maxRounds, bool recordHistory) {
+  adversary.reset();
+  return runBroadcast(
+      n,
+      [&adversary](const BroadcastSim& state) {
+        return adversary.nextTree(state);
+      },
+      maxRounds, recordHistory);
+}
+
+std::size_t defaultRoundCap(std::size_t n) {
+  // ⌈(1+√2)n − 1⌉ plus slack; the theorem says no adversary can reach it.
+  const double ub = std::ceil((1.0 + std::sqrt(2.0)) * static_cast<double>(n));
+  return static_cast<std::size_t>(ub) + 16;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,60 @@
+// BeamWitnessSearch: offline search for long-lived adversarial tree
+// sequences — lower-bound witnesses for t*(T_n).
+//
+// Online (per-round) adversaries are myopic: every convex one-round
+// potential is minimized by continuing a static path, a corridor whose
+// game value is only n−1. The exact solver shows optimal play reaches
+// ⌈(3n−1)/2⌉−2 via early sacrifices. Beam search recovers much of that
+// at sizes the exact solver cannot touch: it advances a population of
+// game states level by level (level = round), expands each with a
+// structured + randomized move pool, prunes to the best/most diverse B
+// states, and reports the longest surviving lineage as a replayable
+// tree sequence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+struct BeamConfig {
+  std::size_t beamWidth = 128;
+  /// Random path/tree moves per expanded state (exploration).
+  std::size_t randomMovesPerState = 4;
+  /// Structured moves (freezes, damage trees) per expanded state.
+  bool structuredMoves = true;
+  /// Multiplicative noise on the damage-tree weights (0 = deterministic
+  /// damage trees only). Noise is the beam's main exploration device:
+  /// plain random trees are far weaker moves.
+  double noiseAmplitude = 8.0;
+  /// Fraction of beam slots reserved for random (non-elite) survivors,
+  /// in percent. Pure elitism collapses the beam into one corridor.
+  std::size_t diversityPercent = 25;
+  /// Safety cap on levels; 0 = the trivial bound n².
+  std::size_t maxRounds = 0;
+};
+
+struct BeamResult {
+  /// Longest achieved broadcast time (rounds until the final, forced
+  /// completion round — the witness sequence has exactly this length).
+  std::size_t rounds = 0;
+  /// The witness: replaying these trees from the identity state keeps
+  /// broadcast incomplete until exactly the last round.
+  std::vector<RootedTree> witness;
+  /// Total states expanded (search effort).
+  std::uint64_t statesExpanded = 0;
+};
+
+/// Runs the search. Deterministic for a fixed (n, seed, config).
+[[nodiscard]] BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
+                                           BeamConfig config = {});
+
+/// Replays a witness and returns its broadcast round (0 if it never
+/// completes — which would make it an invalid witness).
+[[nodiscard]] std::size_t verifyWitness(std::size_t n,
+                                        const std::vector<RootedTree>& trees);
+
+}  // namespace dynbcast

@@ -1,0 +1,211 @@
+#include "src/adversary/exact_solver.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/support/assert.h"
+#include "src/tree/enumerate.h"
+
+namespace dynbcast {
+
+namespace {
+
+constexpr std::size_t kStride = 8;  // bits per row in the packed state
+
+std::uint64_t rowOf(std::uint64_t state, std::size_t y) {
+  return (state >> (y * kStride)) & 0xFFu;
+}
+
+/// All permutations of [n] as flat index arrays.
+std::vector<std::vector<std::size_t>> allPermutations(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  std::vector<std::vector<std::size_t>> out;
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+/// Shared machinery between solve() and optimalPlay(): the move pool, the
+/// canonicalization permutations, and the value memo (keyed by canonical
+/// state).
+struct SolveContext {
+  std::size_t n = 0;
+  bool canonicalize = false;
+  std::size_t depthCap = 0;
+  std::vector<std::vector<std::size_t>> moves;
+  std::vector<std::vector<std::size_t>> perms;
+  /// Per permutation: rowImage[row] = π(row) for every of the 2^n row
+  /// bit-patterns, and rowShift[y] = 8·π(y). Turns one state permutation
+  /// into n table lookups instead of n² bit probes — the canonicalization
+  /// is the solver's hot loop (n! permutations per new state).
+  std::vector<std::vector<std::uint8_t>> rowImage;
+  std::vector<std::vector<unsigned>> rowShift;
+  std::unordered_map<std::uint64_t, std::size_t> memo;
+  std::uint64_t successorsExpanded = 0;
+
+  explicit SolveContext(std::size_t n_, const ExactOptions& options)
+      : n(n_), canonicalize(options.canonicalize) {
+    depthCap = options.depthCap != 0 ? options.depthCap : n * n;
+    moves.reserve(rootedTreeCount(n));
+    forEachRootedTree(n, [&](const RootedTree& t) {
+      moves.push_back(t.parents());
+      return true;
+    });
+    if (canonicalize) {
+      perms = allPermutations(n);
+      rowImage.resize(perms.size());
+      rowShift.resize(perms.size());
+      const std::size_t patterns = std::size_t{1} << n;
+      for (std::size_t p = 0; p < perms.size(); ++p) {
+        rowImage[p].resize(patterns);
+        for (std::size_t bits = 0; bits < patterns; ++bits) {
+          std::uint8_t img = 0;
+          for (std::size_t x = 0; x < n; ++x) {
+            if ((bits >> x) & 1u) {
+              img = static_cast<std::uint8_t>(img |
+                                              (1u << perms[p][x]));
+            }
+          }
+          rowImage[p][bits] = img;
+        }
+        rowShift[p].resize(n);
+        for (std::size_t y = 0; y < n; ++y) {
+          rowShift[p][y] = static_cast<unsigned>(perms[p][y] * kStride);
+        }
+      }
+    }
+  }
+
+  std::uint64_t canonical(std::uint64_t s) const {
+    if (!canonicalize) return s;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (std::size_t p = 0; p < perms.size(); ++p) {
+      std::uint64_t out = 0;
+      for (std::size_t y = 0; y < n; ++y) {
+        const std::uint64_t row = (s >> (y * kStride)) & 0xFFu;
+        out |= static_cast<std::uint64_t>(rowImage[p][row])
+               << rowShift[p][y];
+      }
+      best = std::min(best, out);
+    }
+    return best;
+  }
+
+  /// Game value of a (canonical) non-broadcast state: the largest number
+  /// of further rounds the adversary can force.
+  std::size_t value(std::uint64_t state, std::size_t depth) {
+    const auto it = memo.find(state);
+    if (it != memo.end()) return it->second;
+    DYNBCAST_ASSERT_MSG(depth < depthCap,
+                        "exceeded depth cap: monotone progress violated?");
+    // Distinct successors only: many trees induce the same transition
+    // from a given state.
+    std::unordered_set<std::uint64_t> successors;
+    successors.reserve(64);
+    for (const auto& parents : moves) {
+      successors.insert(ExactSolver::applyTreeEncoded(state, parents));
+    }
+    std::size_t best = 0;
+    std::unordered_set<std::uint64_t> canonicalSeen;
+    canonicalSeen.reserve(successors.size());
+    for (const std::uint64_t raw : successors) {
+      const std::uint64_t next = canonical(raw);
+      if (!canonicalSeen.insert(next).second) continue;
+      ++successorsExpanded;
+      const std::size_t v = ExactSolver::isBroadcastState(next, n)
+                                ? 1
+                                : 1 + value(next, depth + 1);
+      best = std::max(best, v);
+    }
+    memo.emplace(state, best);
+    return best;
+  }
+
+  /// Value of an arbitrary (raw) state via the canonical memo.
+  std::size_t valueOf(std::uint64_t raw, std::size_t depth) {
+    if (ExactSolver::isBroadcastState(raw, n)) return 0;
+    return value(canonical(raw), depth);
+  }
+};
+
+}  // namespace
+
+std::uint64_t ExactSolver::encodeIdentity(std::size_t n) {
+  std::uint64_t s = 0;
+  for (std::size_t y = 0; y < n; ++y) {
+    s |= std::uint64_t{1} << (y * kStride + y);
+  }
+  return s;
+}
+
+std::uint64_t ExactSolver::applyTreeEncoded(
+    std::uint64_t state, const std::vector<std::size_t>& parents) {
+  std::uint64_t out = state;
+  for (std::size_t y = 0; y < parents.size(); ++y) {
+    const std::size_t p = parents[y];
+    if (p != y) {
+      out |= rowOf(state, p) << (y * kStride);
+    }
+  }
+  return out;
+}
+
+bool ExactSolver::isBroadcastState(std::uint64_t state, std::size_t n) {
+  std::uint64_t common = rowOf(state, 0);
+  for (std::size_t y = 1; y < n && common != 0; ++y) {
+    common &= rowOf(state, y);
+  }
+  return common != 0;
+}
+
+ExactSolver::ExactSolver(std::size_t n, ExactOptions options)
+    : n_(n), options_(options) {
+  DYNBCAST_ASSERT_MSG(n >= 2 && n <= kStride,
+                      "ExactSolver supports 2 <= n <= 8");
+}
+
+ExactResult ExactSolver::solve() {
+  SolveContext ctx(n_, options_);
+  ExactResult result;
+  result.tStar = ctx.valueOf(ExactSolver::encodeIdentity(n_), 0);
+  result.statesMemoized = ctx.memo.size();
+  result.successorsExpanded = ctx.successorsExpanded;
+  return result;
+}
+
+std::vector<RootedTree> ExactSolver::optimalPlay() {
+  SolveContext ctx(n_, options_);
+  std::uint64_t state = ExactSolver::encodeIdentity(n_);
+  std::size_t remaining = ctx.valueOf(state, 0);
+
+  // Materialize the trees once (same enumeration order as ctx.moves).
+  const std::vector<RootedTree> pool = allRootedTrees(n_);
+  std::vector<RootedTree> play;
+  play.reserve(remaining);
+  std::size_t depth = 0;
+  while (remaining > 0) {
+    // Pick any move whose successor preserves the game value.
+    bool found = false;
+    for (std::size_t m = 0; m < ctx.moves.size(); ++m) {
+      const std::uint64_t next = applyTreeEncoded(state, ctx.moves[m]);
+      const std::size_t v = ctx.valueOf(next, depth + 1);
+      if (v + 1 == remaining) {
+        play.push_back(pool[m]);
+        state = next;
+        remaining = v;
+        found = true;
+        break;
+      }
+    }
+    DYNBCAST_ASSERT_MSG(found, "no value-preserving move: memo corrupt?");
+    ++depth;
+  }
+  DYNBCAST_ASSERT(isBroadcastState(state, n_));
+  return play;
+}
+
+}  // namespace dynbcast

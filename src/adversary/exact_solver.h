@@ -1,0 +1,78 @@
+// ExactSolver: the exact broadcast game value t*(T_n) for small n.
+//
+// Definition 2.3 makes t*(T_n) the value of a one-player game: the
+// adversary repeatedly picks any rooted tree on [n] to maximize the
+// number of rounds until the product graph has a full row. Since
+// processes have no choices, the value is the longest path from the
+// identity state to a broadcast state in the (finite, acyclic-by-
+// monotonicity) state graph — computable exactly by memoized DFS over
+// all n^(n−1) moves per state.
+//
+// The heard-of matrix of an n ≤ 8 game packs into one uint64_t (row y in
+// byte y), and states are canonicalized under simultaneous node
+// relabeling (row and bit permutation), which shrinks the memo by
+// roughly n!. Practical through n = 5 (625 moves/state) and, with
+// patience, n = 6 (7776 moves/state).
+//
+// This module validates everything else at small scale: the simulators,
+// the bound formulas of Theorem 3.1, and how close the heuristic
+// adversaries come to optimal play.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+struct ExactOptions {
+  /// Canonicalize states under node relabeling (strongly recommended).
+  bool canonicalize = true;
+  /// Hard cap on recursion depth as a safety net; 0 = n² (the trivial
+  /// bound: at least one new edge appears per round).
+  std::size_t depthCap = 0;
+};
+
+struct ExactResult {
+  /// The exact game value t*(T_n).
+  std::size_t tStar = 0;
+  /// Distinct (canonical) states memoized.
+  std::uint64_t statesMemoized = 0;
+  /// Total successor states evaluated (after per-state deduplication).
+  std::uint64_t successorsExpanded = 0;
+};
+
+class ExactSolver {
+ public:
+  /// Precondition: 2 ≤ n ≤ 8 (the uint64 packing limit). Memory and time
+  /// grow steeply; n ≤ 5 runs in well under a second.
+  explicit ExactSolver(std::size_t n, ExactOptions options = {});
+
+  /// Computes t*(T_n).
+  [[nodiscard]] ExactResult solve();
+
+  /// Computes t*(T_n) and extracts one optimal line of play: a concrete
+  /// tree sequence achieving the game value from the identity state.
+  /// The sequence is itself a machine-checkable lower-bound certificate
+  /// (replay it on a simulator and count rounds).
+  [[nodiscard]] std::vector<RootedTree> optimalPlay();
+
+  /// Packs a heard-of matrix (row y = Heard(y)) into the solver encoding;
+  /// exposed for tests.
+  [[nodiscard]] static std::uint64_t encodeIdentity(std::size_t n);
+
+  /// Applies a tree (as a parent array) to an encoded state.
+  [[nodiscard]] static std::uint64_t applyTreeEncoded(
+      std::uint64_t state, const std::vector<std::size_t>& parents);
+
+  /// True when some process is heard by everyone in the encoded state.
+  [[nodiscard]] static bool isBroadcastState(std::uint64_t state,
+                                             std::size_t n);
+
+ private:
+  std::size_t n_;
+  ExactOptions options_;
+};
+
+}  // namespace dynbcast

@@ -1,0 +1,150 @@
+#include "src/adversary/lookahead.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "src/support/assert.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+
+namespace {
+
+/// Top-`depth` coverage leaders, highest first.
+std::vector<std::size_t> topLeaders(const std::vector<std::size_t>& coverage,
+                                    std::size_t depth) {
+  std::vector<std::size_t> ids(coverage.size());
+  std::iota(ids.begin(), ids.end(), std::size_t{0});
+  const std::size_t take = std::min(depth, ids.size());
+  std::partial_sort(ids.begin(),
+                    ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&](std::size_t a, std::size_t b) {
+                      if (coverage[a] != coverage[b]) {
+                        return coverage[a] > coverage[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+/// The structured move pool expanded at every search node.
+std::vector<RootedTree> generateCandidates(
+    const BroadcastSim& sim, const std::vector<std::size_t>& coverage,
+    const std::vector<std::size_t>& baseOrder, Rng& rng,
+    const LookaheadConfig& config) {
+  const std::size_t n = sim.processCount();
+  std::vector<RootedTree> out;
+  out.push_back(makePath(baseOrder));  // continuity move
+  out.push_back(
+      makePath(freezeOrdering(sim, topLeaders(coverage, 1), baseOrder)));
+  out.push_back(
+      makePath(freezeOrdering(sim, topLeaders(coverage, 2), baseOrder)));
+  // Damage-greedy roots: safest spreader and best-informed receiver.
+  if (config.damageRoots >= 1) {
+    const std::size_t minCov = static_cast<std::size_t>(
+        std::min_element(coverage.begin(), coverage.end()) -
+        coverage.begin());
+    out.push_back(buildDamageGreedyTree(sim, coverage, minCov));
+  }
+  if (config.damageRoots >= 2 && n >= 2) {
+    std::size_t maxHeard = 0;
+    for (std::size_t y = 1; y < n; ++y) {
+      if (sim.heardBy(y).count() > sim.heardBy(maxHeard).count()) {
+        maxHeard = y;
+      }
+    }
+    out.push_back(buildDamageGreedyTree(sim, coverage, maxHeard));
+  }
+  for (std::size_t extra = 2; extra < config.damageRoots; ++extra) {
+    out.push_back(buildDamageGreedyTree(sim, coverage, rng.uniform(n)));
+  }
+  for (std::size_t i = 0; i < config.randomMoves; ++i) {
+    out.push_back(randomPath(n, rng));
+  }
+  return out;
+}
+
+struct Eval {
+  std::size_t survived = 0;  // rounds the adversary lasts within horizon
+  double potential = std::numeric_limits<double>::infinity();
+};
+
+bool betterForAdversary(const Eval& a, const Eval& b) {
+  if (a.survived != b.survived) return a.survived > b.survived;
+  return a.potential < b.potential;
+}
+
+Eval search(const std::vector<DynBitset>& heard,
+            const std::vector<std::size_t>& coverage,
+            const std::vector<std::size_t>& baseOrder, Rng& rng,
+            const LookaheadConfig& config, std::size_t depth,
+            RootedTree* chosenOut) {
+  const BroadcastSim sim =
+      BroadcastSim::fromHeard(std::vector<DynBitset>(heard));
+  const std::vector<RootedTree> candidates =
+      generateCandidates(sim, coverage, baseOrder, rng, config);
+
+  Eval best;  // survived = 0, potential = inf: "every move finishes"
+  const RootedTree* bestTree = &candidates.front();
+  for (const RootedTree& candidate : candidates) {
+    std::vector<std::size_t> nextCoverage;
+    const DelayScore score =
+        evaluateCandidate(heard, coverage, candidate, &nextCoverage);
+    Eval eval;
+    if (score.finishes || depth == 1) {
+      eval.survived = score.finishes ? 0 : 1;
+      eval.potential = score.potential;
+    } else {
+      std::vector<DynBitset> nextHeard = heard;
+      BroadcastSim::applyTreeTo(nextHeard, candidate);
+      const Eval sub = search(nextHeard, nextCoverage, baseOrder, rng,
+                              config, depth - 1, nullptr);
+      eval.survived = 1 + sub.survived;
+      eval.potential = sub.potential;
+    }
+    if (betterForAdversary(eval, best)) {
+      best = eval;
+      bestTree = &candidate;
+    }
+  }
+  if (chosenOut != nullptr) *chosenOut = *bestTree;
+  return best;
+}
+
+}  // namespace
+
+LookaheadDelayAdversary::LookaheadDelayAdversary(std::size_t n,
+                                                 std::uint64_t seed,
+                                                 LookaheadConfig config)
+    : n_(n), seed_(seed), rng_(seed), config_(config) {
+  DYNBCAST_ASSERT(config_.depth >= 1);
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+}
+
+void LookaheadDelayAdversary::reset() {
+  rng_ = Rng(seed_);
+  std::iota(order_.begin(), order_.end(), std::size_t{0});
+}
+
+RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
+  DYNBCAST_ASSERT(state.processCount() == n_);
+  const std::vector<std::size_t> coverage = coverageCounts(state);
+  RootedTree chosen = makePath(order_);
+  (void)search(state.heardMatrix(), coverage, order_, rng_, config_,
+               config_.depth, &chosen);
+  // Carry path stability when the chosen move is a path.
+  if (chosen.leafCount() == 1) {
+    order_ = chosen.bfsOrder();
+  }
+  return chosen;
+}
+
+std::string LookaheadDelayAdversary::name() const {
+  return "lookahead[d=" + std::to_string(config_.depth) + "]";
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,50 @@
+// LookaheadDelayAdversary: depth-limited search over candidate moves.
+//
+// One-step greedy fails against this game: the static path minimizes any
+// convex one-round potential yet yields only t* = n−1, while optimal
+// play (exact solver, small n) reaches ⌈(3n−1)/2⌉−2 by making early
+// "sacrifice" moves whose payoff appears several rounds later. The fix
+// is to search: from the current state, expand a small structured
+// candidate pool (damage-greedy trees, stable freezes, the previous
+// path, heard-order paths) to depth d, maximize rounds-until-broadcast
+// within the horizon, and break ties by the convex coverage potential of
+// the horizon state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/adversary.h"
+#include "src/support/rng.h"
+
+namespace dynbcast {
+
+struct LookaheadConfig {
+  /// Search depth in rounds (1 = plain greedy). Cost grows as
+  /// (pool size)^depth; 3 is comfortable for n ≤ 64.
+  std::size_t depth = 3;
+  /// Random path/tree candidates added to the structured pool per node.
+  std::size_t randomMoves = 1;
+  /// Damage-greedy tree roots tried per node.
+  std::size_t damageRoots = 2;
+};
+
+class LookaheadDelayAdversary final : public Adversary {
+ public:
+  LookaheadDelayAdversary(std::size_t n, std::uint64_t seed,
+                          LookaheadConfig config = {});
+
+  [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+ private:
+  std::size_t n_;
+  std::uint64_t seed_;
+  Rng rng_;
+  LookaheadConfig config_;
+  std::vector<std::size_t> order_;
+};
+
+}  // namespace dynbcast

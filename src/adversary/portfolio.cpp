@@ -1,0 +1,69 @@
+#include "src/adversary/portfolio.h"
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/local_search.h"
+#include "src/adversary/oblivious.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+std::vector<PortfolioMember> standardPortfolio(std::size_t n,
+                                               std::uint64_t seed) {
+  std::vector<PortfolioMember> members;
+  members.push_back({"static-path", [n] {
+                       return std::make_unique<StaticPathAdversary>(n);
+                     }});
+  members.push_back({"random-tree", [n, seed] {
+                       return std::make_unique<UniformRandomAdversary>(n,
+                                                                       seed);
+                     }});
+  members.push_back({"random-path", [n, seed] {
+                       return std::make_unique<RandomPathAdversary>(
+                           n, seed ^ 0x5eedull);
+                     }});
+  members.push_back({"heard-asc-path", [n] {
+                       return std::make_unique<HeardOrderPathAdversary>(n,
+                                                                        true);
+                     }});
+  members.push_back({"heard-desc-path", [n] {
+                       return std::make_unique<HeardOrderPathAdversary>(
+                           n, false);
+                     }});
+  for (std::size_t d = 1; d <= 3; ++d) {
+    members.push_back({"freeze-path[d=" + std::to_string(d) + "]", [n, d] {
+                         return std::make_unique<FreezePathAdversary>(n, d);
+                       }});
+  }
+  members.push_back({"greedy-delay", [n, seed] {
+                       return std::make_unique<GreedyDelayAdversary>(
+                           n, seed ^ 0x9eedull);
+                     }});
+  members.push_back({"local-search", [n, seed] {
+                       return std::make_unique<LocalSearchPathAdversary>(
+                           n, seed ^ 0xf00dull);
+                     }});
+  return members;
+}
+
+PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed) {
+  return runPortfolio(n, seed, standardPortfolio(n, seed));
+}
+
+PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed,
+                             const std::vector<PortfolioMember>& members) {
+  (void)seed;
+  PortfolioResult result;
+  const std::size_t cap = defaultRoundCap(n);
+  for (const PortfolioMember& member : members) {
+    const std::unique_ptr<Adversary> adversary = member.make();
+    const BroadcastRun run = runAdversary(n, *adversary, cap);
+    result.entries.push_back({member.name, run.rounds, run.completed});
+    if (run.completed && run.rounds > result.bestRounds) {
+      result.bestRounds = run.rounds;
+      result.bestName = member.name;
+    }
+  }
+  return result;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,52 @@
+// Adversary portfolio: the library's best effort at Definition 2.3's max.
+//
+// t*(T_n) is a maximum over all adversaries; any single strategy only
+// witnesses a lower bound. The portfolio runs every built-in adversary
+// and reports the strongest witness, which benches compare against the
+// paper's two bounds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+
+namespace dynbcast {
+
+/// A named adversary factory, so runs can be repeated with fresh state.
+struct PortfolioMember {
+  std::string name;
+  std::function<std::unique_ptr<Adversary>()> make;
+};
+
+/// The standard members: static path, random tree/path, heard-order
+/// paths, freeze paths (depths 1–3), greedy-delay, local-search.
+[[nodiscard]] std::vector<PortfolioMember> standardPortfolio(
+    std::size_t n, std::uint64_t seed);
+
+struct PortfolioEntry {
+  std::string name;
+  std::size_t rounds = 0;
+  bool completed = false;
+};
+
+struct PortfolioResult {
+  /// The strongest (largest) completed t* among members.
+  std::size_t bestRounds = 0;
+  std::string bestName;
+  std::vector<PortfolioEntry> entries;
+};
+
+/// Runs each member to completion (cap defaultRoundCap(n)) and collects
+/// the per-member broadcast times.
+[[nodiscard]] PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed);
+
+/// Runs only the named members (useful for quick benches).
+[[nodiscard]] PortfolioResult runPortfolio(
+    std::size_t n, std::uint64_t seed,
+    const std::vector<PortfolioMember>& members);
+
+}  // namespace dynbcast

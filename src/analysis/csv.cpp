@@ -1,0 +1,28 @@
+#include "src/analysis/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace dynbcast {
+
+void writeFile(const std::string& path, const std::string& content) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path());
+  }
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  out << content;
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+void writeCsv(const std::string& path, const TextTable& table) {
+  writeFile(path, table.renderCsv());
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,17 @@
+// CSV/file export helpers for benches and examples.
+#pragma once
+
+#include <string>
+
+#include "src/support/table.h"
+
+namespace dynbcast {
+
+/// Writes `content` to `path`, creating parent directories as needed.
+/// Throws std::runtime_error on I/O failure.
+void writeFile(const std::string& path, const std::string& content);
+
+/// Writes a TextTable as CSV to `path`.
+void writeCsv(const std::string& path, const TextTable& table);
+
+}  // namespace dynbcast

@@ -1,0 +1,47 @@
+// Matrix-evolution analysis — the paper's "novel perspective" (§3) made
+// observable. The proof of Theorem 3.1 tracks how the boolean adjacency
+// matrix of G(t) evolves; this module extracts the quantities such an
+// analysis looks at from a recorded run:
+//
+//  * per-round potential Φ(t) = Σ_y (n − |Heard_t(y)|), strictly
+//    decreasing by ≥ 1 each round before completion (the ≥-one-new-edge
+//    argument in matrix form, Φ(0) = n(n−1), broadcast ⇒ Φ can be 0 only
+//    at gossip; broadcast itself is a column event);
+//  * completion timelines: for each process, the round its row/column of
+//    G(t) filled (who reached everyone / who heard everyone);
+//  * per-round counts of "blocked" pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/broadcast_sim.h"
+#include "src/sim/trace.h"
+
+namespace dynbcast {
+
+struct EvolutionSummary {
+  std::size_t n = 0;
+  std::size_t rounds = 0;
+  /// Φ(t) per round (index 0 = after round 1).
+  std::vector<std::size_t> potential;
+  /// Round at which each process had heard from everyone (its column of
+  /// the heard matrix filled); 0 = never within the trace.
+  std::vector<std::size_t> heardAllAt;
+  /// Round at which each process was heard by everyone; 0 = never.
+  std::vector<std::size_t> coveredAllAt;
+  /// First round some process was heard by everyone (t*); 0 = never.
+  std::size_t broadcastRound = 0;
+
+  /// Minimum per-round potential drop observed (the paper's "at least one
+  /// new edge per round" claim demands ≥ 1 before completion).
+  [[nodiscard]] std::size_t minPotentialDrop() const;
+};
+
+/// Replays a trace and extracts the evolution summary.
+[[nodiscard]] EvolutionSummary analyzeTrace(const SimTrace& trace);
+
+/// Current potential Φ of a live simulation.
+[[nodiscard]] std::size_t potentialOf(const BroadcastSim& sim);
+
+}  // namespace dynbcast

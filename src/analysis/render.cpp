@@ -1,0 +1,41 @@
+#include "src/analysis/render.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynbcast {
+
+std::string renderHeardMatrix(const BroadcastSim& sim) {
+  const std::size_t n = sim.processCount();
+  std::ostringstream os;
+  os << "heard-of matrix after round " << sim.round()
+     << " (row y = Heard(y))\n";
+  for (std::size_t y = 0; y < n; ++y) {
+    const DynBitset& h = sim.heardBy(y);
+    std::string gutter = std::to_string(y);
+    gutter.resize(4, ' ');
+    os << gutter;
+    for (std::size_t x = 0; x < n; ++x) {
+      os << (h.test(x) ? '#' : '.');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string sparkline(const std::vector<std::size_t>& series) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (series.empty()) return "";
+  const std::size_t lo = *std::min_element(series.begin(), series.end());
+  const std::size_t hi = *std::max_element(series.begin(), series.end());
+  std::string out;
+  for (const std::size_t v : series) {
+    const std::size_t level =
+        hi == lo ? 0 : (v - lo) * 7 / (hi - lo);
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace dynbcast

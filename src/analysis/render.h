@@ -1,0 +1,19 @@
+// ASCII rendering of heard-of matrices and round series — the debug/
+// teaching view of the paper's matrix-evolution perspective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/broadcast_sim.h"
+
+namespace dynbcast {
+
+/// Draws the heard-of matrix: row y = Heard(y), '#' for 1, '.' for 0,
+/// with row/column indices every 8 lines for readability.
+[[nodiscard]] std::string renderHeardMatrix(const BroadcastSim& sim);
+
+/// A one-line unicode sparkline of a series (▁▂▃▄▅▆▇█), auto-scaled.
+[[nodiscard]] std::string sparkline(const std::vector<std::size_t>& series);
+
+}  // namespace dynbcast

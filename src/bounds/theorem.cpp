@@ -1,0 +1,32 @@
+#include "src/bounds/theorem.h"
+
+#include <sstream>
+
+#include "src/bounds/bounds.h"
+#include "src/support/format.h"
+
+namespace dynbcast {
+
+TheoremCheck checkTheorem31(std::size_t n, std::size_t measured) {
+  TheoremCheck c;
+  c.n = n;
+  c.measured = measured;
+  c.lower = bounds::lowerBound(n);
+  c.upper = bounds::linearUpper(n);
+  c.withinUpper = measured <= c.upper;
+  c.witnessesLower = measured >= c.lower;
+  c.ratio = n == 0 ? 0.0
+                   : static_cast<double>(measured) / static_cast<double>(n);
+  return c;
+}
+
+std::string TheoremCheck::toString() const {
+  std::ostringstream os;
+  os << "n=" << n << " measured=" << measured << " bounds=[" << lower << ", "
+     << upper << "] ratio=" << fmtDouble(ratio, 3)
+     << (withinUpper ? "" : " UPPER-BOUND-VIOLATION")
+     << (witnessesLower ? " (witnesses lower bound)" : "");
+  return os.str();
+}
+
+}  // namespace dynbcast

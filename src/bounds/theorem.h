@@ -1,0 +1,40 @@
+// Executable statement of Theorem 3.1 and per-run certificates.
+//
+//   ⌈(3n−1)/2⌉ − 2  ≤  t*(T_n)  ≤  ⌈(1+√2)·n − 1⌉
+//
+// Any adversary run gives a certified LOWER witness for t*(T_n) (the
+// adversary achieved that many rounds), while the theorem's upper bound
+// must dominate every run. checkRun() encodes both directions; tests and
+// benches route all measurements through it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dynbcast {
+
+struct TheoremCheck {
+  std::size_t n = 0;
+  /// The measured broadcast time of some adversary run.
+  std::size_t measured = 0;
+  /// ⌈(3n−1)/2⌉ − 2.
+  std::uint64_t lower = 0;
+  /// ⌈(1+√2)n − 1⌉.
+  std::uint64_t upper = 0;
+  /// measured ≤ upper — MUST hold for every run, or Theorem 3.1 (or our
+  /// simulator) is wrong.
+  bool withinUpper = false;
+  /// measured ≥ lower — holds when the adversary is strong enough to
+  /// witness the paper's lower bound (optimal play always does).
+  bool witnessesLower = false;
+  /// measured / n, for comparing against 1.5 and 1+√2 ≈ 2.414.
+  double ratio = 0.0;
+
+  [[nodiscard]] std::string toString() const;
+};
+
+/// Evaluates both directions of Theorem 3.1 against a measured t*.
+[[nodiscard]] TheoremCheck checkTheorem31(std::size_t n,
+                                          std::size_t measured);
+
+}  // namespace dynbcast

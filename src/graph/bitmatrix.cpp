@@ -1,0 +1,124 @@
+#include "src/graph/bitmatrix.h"
+
+#include <ostream>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+BitMatrix::BitMatrix(std::size_t n) : n_(n), rows_(n, DynBitset(n)) {}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i);
+  return m;
+}
+
+BitMatrix BitMatrix::full(std::size_t n) {
+  BitMatrix m(n);
+  for (auto& r : m.rows_) r.setAll();
+  return m;
+}
+
+DynBitset BitMatrix::column(std::size_t y) const {
+  DYNBCAST_ASSERT(y < n_);
+  DynBitset col(n_);
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (rows_[x].test(y)) col.set(x);
+  }
+  return col;
+}
+
+BitMatrix BitMatrix::product(const BitMatrix& other) const {
+  DYNBCAST_ASSERT(n_ == other.n_);
+  BitMatrix out(n_);
+  for (std::size_t x = 0; x < n_; ++x) {
+    DynBitset& outRow = out.rows_[x];
+    const DynBitset& aRow = rows_[x];
+    for (std::size_t z = aRow.findFirst(); z < n_; z = aRow.findNext(z + 1)) {
+      outRow.orWith(other.rows_[z]);
+    }
+  }
+  return out;
+}
+
+void BitMatrix::orWith(const BitMatrix& other) {
+  DYNBCAST_ASSERT(n_ == other.n_);
+  for (std::size_t x = 0; x < n_; ++x) rows_[x].orWith(other.rows_[x]);
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix out(n_);
+  for (std::size_t x = 0; x < n_; ++x) {
+    const DynBitset& r = rows_[x];
+    for (std::size_t y = r.findFirst(); y < n_; y = r.findNext(y + 1)) {
+      out.set(y, x);
+    }
+  }
+  return out;
+}
+
+std::size_t BitMatrix::countOnes() const noexcept {
+  std::size_t c = 0;
+  for (const auto& r : rows_) c += r.count();
+  return c;
+}
+
+bool BitMatrix::isReflexive() const noexcept {
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (!rows_[i].test(i)) return false;
+  }
+  return true;
+}
+
+bool BitMatrix::isFull() const noexcept {
+  for (const auto& r : rows_) {
+    if (!r.all()) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> BitMatrix::completeRows() const {
+  std::vector<std::size_t> out;
+  for (std::size_t x = 0; x < n_; ++x) {
+    if (rows_[x].all()) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<std::size_t> BitMatrix::broadcasters() const {
+  // x is a broadcaster iff (x, y) == 1 for every y, i.e. row(x) is full.
+  // (Rows are reach-sets under our orientation; see bitmatrix.h.)
+  return completeRows();
+}
+
+bool BitMatrix::hasBroadcaster() const noexcept {
+  for (const auto& r : rows_) {
+    if (r.all()) return true;
+  }
+  return false;
+}
+
+std::uint64_t BitMatrix::hash() const noexcept {
+  std::uint64_t h = 0x243f6a8885a308d3ull ^ n_;
+  for (const auto& r : rows_) {
+    h ^= r.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::string BitMatrix::toString() const {
+  std::string s;
+  s.reserve(n_ * (n_ + 1));
+  for (const auto& r : rows_) {
+    s += r.toString();
+    s.push_back('\n');
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitMatrix& m) {
+  return os << m.toString();
+}
+
+}  // namespace dynbcast

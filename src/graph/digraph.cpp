@@ -1,0 +1,56 @@
+#include "src/graph/digraph.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+Digraph::Digraph(std::size_t n) : out_(n), in_(n) {}
+
+Digraph Digraph::fromMatrix(const BitMatrix& m) {
+  Digraph g(m.dim());
+  for (std::size_t x = 0; x < m.dim(); ++x) {
+    const DynBitset& r = m.row(x);
+    for (std::size_t y = r.findFirst(); y < m.dim(); y = r.findNext(y + 1)) {
+      g.addEdge(x, y);
+    }
+  }
+  return g;
+}
+
+void Digraph::addEdge(std::size_t from, std::size_t to) {
+  DYNBCAST_ASSERT(from < out_.size() && to < out_.size());
+  auto& o = out_[from];
+  const auto it = std::lower_bound(o.begin(), o.end(), to);
+  if (it != o.end() && *it == to) return;  // duplicate
+  o.insert(it, to);
+  auto& i = in_[to];
+  i.insert(std::lower_bound(i.begin(), i.end(), from), from);
+  ++edges_;
+}
+
+bool Digraph::hasEdge(std::size_t from, std::size_t to) const {
+  DYNBCAST_ASSERT(from < out_.size() && to < out_.size());
+  const auto& o = out_[from];
+  return std::binary_search(o.begin(), o.end(), to);
+}
+
+BitMatrix Digraph::toMatrix() const {
+  BitMatrix m(nodeCount());
+  for (std::size_t x = 0; x < nodeCount(); ++x) {
+    for (const std::size_t y : out_[x]) m.set(x, y);
+  }
+  return m;
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(edges_);
+  for (std::size_t x = 0; x < nodeCount(); ++x) {
+    for (const std::size_t y : out_[x]) out.push_back({x, y});
+  }
+  return out;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,70 @@
+// Digraph: adjacency-list view of a directed graph on [n].
+//
+// BitMatrix is the dense analytical representation; Digraph is the sparse
+// operational one used by the process simulator (delivering messages along
+// edges) and by generators. Conversions between the two are exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/bitmatrix.h"
+
+namespace dynbcast {
+
+struct Edge {
+  std::size_t from;
+  std::size_t to;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Graph on n nodes with no edges.
+  explicit Digraph(std::size_t n);
+
+  [[nodiscard]] static Digraph fromMatrix(const BitMatrix& m);
+
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t edgeCount() const noexcept { return edges_; }
+
+  /// Adds edge (from → to). Duplicate edges are ignored.
+  void addEdge(std::size_t from, std::size_t to);
+
+  [[nodiscard]] bool hasEdge(std::size_t from, std::size_t to) const;
+
+  /// Out-neighbors of x (ascending).
+  [[nodiscard]] const std::vector<std::size_t>& outNeighbors(
+      std::size_t x) const noexcept {
+    return out_[x];
+  }
+
+  /// In-neighbors of y (ascending).
+  [[nodiscard]] const std::vector<std::size_t>& inNeighbors(
+      std::size_t y) const noexcept {
+    return in_[y];
+  }
+
+  [[nodiscard]] std::size_t outDegree(std::size_t x) const noexcept {
+    return out_[x].size();
+  }
+  [[nodiscard]] std::size_t inDegree(std::size_t y) const noexcept {
+    return in_[y].size();
+  }
+
+  [[nodiscard]] BitMatrix toMatrix() const;
+
+  /// All edges in (from, to) lexicographic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> out_;
+  std::vector<std::vector<std::size_t>> in_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace dynbcast

@@ -1,0 +1,27 @@
+#include "src/graph/dot.h"
+
+#include <sstream>
+
+namespace dynbcast {
+
+std::string toDot(const BitMatrix& g, const DotStyle& style) {
+  std::ostringstream os;
+  os << "digraph " << style.graphName << " {\n";
+  os << "  rankdir=" << style.rankdir << ";\n";
+  os << "  node [shape=circle];\n";
+  const std::size_t n = g.dim();
+  for (std::size_t x = 0; x < n; ++x) {
+    os << "  n" << x << " [label=\"" << x << "\"];\n";
+  }
+  for (std::size_t x = 0; x < n; ++x) {
+    const DynBitset& row = g.row(x);
+    for (std::size_t y = row.findFirst(); y < n; y = row.findNext(y + 1)) {
+      if (style.hideSelfLoops && x == y) continue;
+      os << "  n" << x << " -> n" << y << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dynbcast

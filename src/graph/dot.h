@@ -1,0 +1,19 @@
+// Graphviz DOT export for debugging and documentation figures.
+#pragma once
+
+#include <string>
+
+#include "src/graph/bitmatrix.h"
+
+namespace dynbcast {
+
+struct DotStyle {
+  bool hideSelfLoops = true;
+  std::string graphName = "G";
+  std::string rankdir = "TB";
+};
+
+/// Renders the graph as Graphviz DOT source.
+[[nodiscard]] std::string toDot(const BitMatrix& g, const DotStyle& style = {});
+
+}  // namespace dynbcast

@@ -1,0 +1,133 @@
+#include "src/graph/properties.h"
+
+#include <vector>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+DynBitset reachableFrom(const BitMatrix& g, std::size_t start) {
+  const std::size_t n = g.dim();
+  DYNBCAST_ASSERT(start < n);
+  DynBitset seen(n);
+  std::vector<std::size_t> stack{start};
+  seen.set(start);
+  while (!stack.empty()) {
+    const std::size_t x = stack.back();
+    stack.pop_back();
+    const DynBitset& row = g.row(x);
+    for (std::size_t y = row.findFirst(); y < n; y = row.findNext(y + 1)) {
+      if (!seen.test(y)) {
+        seen.set(y);
+        stack.push_back(y);
+      }
+    }
+  }
+  return seen;
+}
+
+bool isRooted(const BitMatrix& g) { return findRoot(g).has_value(); }
+
+std::optional<std::size_t> findRoot(const BitMatrix& g) {
+  const std::size_t n = g.dim();
+  if (n == 0) return std::nullopt;
+  // A candidate root must reach everyone; checking all n starts is O(n·m)
+  // worst case, but we first use a classic trick: run one DFS from node 0;
+  // any root must reach 0's entire reach-set... that only prunes in one
+  // direction, so for clarity we simply test each node (dims here are
+  // small when this predicate is used — validation and tests).
+  for (std::size_t x = 0; x < n; ++x) {
+    if (reachableFrom(g, x).all()) return x;
+  }
+  return std::nullopt;
+}
+
+bool isNonsplit(const BitMatrix& g) {
+  const std::size_t n = g.dim();
+  // Pair (y1, y2) needs a common in-neighbor: columns y1 and y2 intersect.
+  // Materializing the transpose makes each pair test O(n/64).
+  const BitMatrix t = g.transposed();
+  for (std::size_t y1 = 0; y1 < n; ++y1) {
+    for (std::size_t y2 = y1; y2 < n; ++y2) {
+      if (!t.row(y1).intersects(t.row(y2))) return false;
+    }
+  }
+  return true;
+}
+
+bool isRootedTreeWithSelfLoops(const BitMatrix& g) {
+  const std::size_t n = g.dim();
+  if (n == 0) return false;
+  if (!g.isReflexive()) return false;
+  // Count non-loop in-edges: every node needs exactly one tree parent,
+  // except a unique root with none.
+  std::vector<std::size_t> parent(n, n);
+  std::size_t rootCount = 0;
+  std::size_t root = n;
+  const BitMatrix t = g.transposed();
+  for (std::size_t y = 0; y < n; ++y) {
+    std::size_t deg = 0;
+    std::size_t p = n;
+    const DynBitset& col = t.row(y);
+    for (std::size_t x = col.findFirst(); x < n; x = col.findNext(x + 1)) {
+      if (x == y) continue;  // self-loop
+      ++deg;
+      p = x;
+    }
+    if (deg == 0) {
+      ++rootCount;
+      root = y;
+    } else if (deg == 1) {
+      parent[y] = p;
+    } else {
+      return false;
+    }
+  }
+  if (rootCount != 1) return false;
+  // Also check out-edges contain nothing beyond loops + parent links
+  // (they can't: we derived parents from the full edge set) and that the
+  // parent structure is acyclic, i.e. every node walks up to the root.
+  for (std::size_t y = 0; y < n; ++y) {
+    std::size_t steps = 0;
+    std::size_t cur = y;
+    while (cur != root) {
+      cur = parent[cur];
+      if (cur == n || ++steps > n) return false;
+    }
+  }
+  // Finally, total edge count must be exactly n self-loops + (n-1) tree
+  // edges — excludes extra forward edges hiding behind valid in-degrees.
+  return g.countOnes() == 2 * n - 1;
+}
+
+std::size_t treeDepth(const BitMatrix& g) {
+  DYNBCAST_ASSERT_MSG(isRootedTreeWithSelfLoops(g),
+                      "treeDepth requires a member of T_n");
+  const std::size_t n = g.dim();
+  // BFS from the root along non-loop edges.
+  const BitMatrix t = g.transposed();
+  std::size_t root = n;
+  for (std::size_t y = 0; y < n; ++y) {
+    if (t.row(y).count() == 1) {  // only the self-loop
+      root = y;
+      break;
+    }
+  }
+  DYNBCAST_ASSERT(root < n);
+  std::vector<std::size_t> depth(n, 0);
+  std::vector<std::size_t> queue{root};
+  std::size_t maxDepth = 0;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const std::size_t x = queue[qi];
+    const DynBitset& row = g.row(x);
+    for (std::size_t y = row.findFirst(); y < n; y = row.findNext(y + 1)) {
+      if (y == x) continue;
+      depth[y] = depth[x] + 1;
+      maxDepth = std::max(maxDepth, depth[y]);
+      queue.push_back(y);
+    }
+  }
+  return maxDepth;
+}
+
+}  // namespace dynbcast

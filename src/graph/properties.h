@@ -1,0 +1,42 @@
+// Structural predicates on directed graphs, phrased on BitMatrix.
+//
+// These implement the model-side definitions the paper and its cited
+// results rely on: rooted (some node reaches everyone), nonsplit (every
+// pair of nodes has a common in-neighbor, per Charron-Bost & Schiper),
+// and rooted-tree-with-self-loops membership in T_n.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/graph/bitmatrix.h"
+
+namespace dynbcast {
+
+/// Nodes reachable from `start` (including itself) following edges forward.
+[[nodiscard]] DynBitset reachableFrom(const BitMatrix& g, std::size_t start);
+
+/// True when some node reaches all others (the graph is "rooted").
+[[nodiscard]] bool isRooted(const BitMatrix& g);
+
+/// A node that reaches all others, if one exists.
+[[nodiscard]] std::optional<std::size_t> findRoot(const BitMatrix& g);
+
+/// True when every pair of nodes (including pairs (y,y)) has a common
+/// in-neighbor. This is the "nonsplit" property of [2]/[9].
+[[nodiscard]] bool isNonsplit(const BitMatrix& g);
+
+/// True when g is exactly a rooted tree on [n] plus one self-loop per node
+/// — i.e. a member of the adversary's pool T_n (paper §2):
+/// every node has the self-loop; the root has in-degree 1 (just the loop);
+/// every other node has in-degree 2 (loop + tree parent); tree edges are
+/// acyclic and connect everyone to the root.
+[[nodiscard]] bool isRootedTreeWithSelfLoops(const BitMatrix& g);
+
+/// Longest directed distance from the root along tree edges; the broadcast
+/// time of the *static* adversary repeating this tree. Requires
+/// isRootedTreeWithSelfLoops(g).
+[[nodiscard]] std::size_t treeDepth(const BitMatrix& g);
+
+}  // namespace dynbcast

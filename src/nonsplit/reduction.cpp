@@ -1,0 +1,34 @@
+#include "src/nonsplit/reduction.h"
+
+#include "src/graph/properties.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+BitMatrix productOfTrees(const std::vector<RootedTree>& trees) {
+  DYNBCAST_ASSERT(!trees.empty());
+  BitMatrix product = trees.front().toMatrix();
+  for (std::size_t i = 1; i < trees.size(); ++i) {
+    DYNBCAST_ASSERT(trees[i].size() == product.dim());
+    product = product.product(trees[i].toMatrix());
+  }
+  return product;
+}
+
+bool treeProductIsNonsplit(const std::vector<RootedTree>& trees) {
+  return isNonsplit(productOfTrees(trees));
+}
+
+std::size_t nonsplitPrefixLength(const std::vector<RootedTree>& trees) {
+  DYNBCAST_ASSERT(!trees.empty());
+  BitMatrix product = trees.front().toMatrix();
+  if (isNonsplit(product)) return 1;
+  for (std::size_t i = 1; i < trees.size(); ++i) {
+    DYNBCAST_ASSERT(trees[i].size() == product.dim());
+    product = product.product(trees[i].toMatrix());
+    if (isNonsplit(product)) return i + 1;
+  }
+  return trees.size() + 1;
+}
+
+}  // namespace dynbcast

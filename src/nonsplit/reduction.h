@@ -1,0 +1,29 @@
+// The Charron-Bost–Függer–Nowak reduction [1], as executable facts:
+// the product of any n−1 rooted trees (with self-loops) on n nodes is a
+// nonsplit graph. This is the bridge that turned [9]'s O(log log n)
+// nonsplit bound into the pre-paper O(n log log n) tree bound (§4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/bitmatrix.h"
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+/// Product G_1 ∘ G_2 ∘ … of the trees' communication graphs.
+[[nodiscard]] BitMatrix productOfTrees(const std::vector<RootedTree>& trees);
+
+/// Checks the reduction's statement on a concrete sequence: true when the
+/// product of the given trees is nonsplit. By [1] this always holds when
+/// trees.size() >= n−1; property tests exercise exactly that.
+[[nodiscard]] bool treeProductIsNonsplit(const std::vector<RootedTree>& trees);
+
+/// The smallest prefix length L such that G_1 ∘ … ∘ G_L is nonsplit, or
+/// trees.size()+1 when no prefix suffices. By [1], L ≤ n−1 always; the
+/// benches report how much earlier random sequences get there.
+[[nodiscard]] std::size_t nonsplitPrefixLength(
+    const std::vector<RootedTree>& trees);
+
+}  // namespace dynbcast

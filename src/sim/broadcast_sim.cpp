@@ -1,0 +1,147 @@
+#include "src/sim/broadcast_sim.h"
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+BroadcastSim::BroadcastSim(std::size_t n)
+    : n_(n), heard_(n, DynBitset(n)), scratch_(n, DynBitset(n)) {
+  DYNBCAST_ASSERT(n > 0);
+  reset();
+}
+
+BroadcastSim BroadcastSim::fromHeard(std::vector<DynBitset> heard,
+                                     std::size_t round) {
+  DYNBCAST_ASSERT(!heard.empty());
+  BroadcastSim sim(heard.size());
+  for (std::size_t y = 0; y < heard.size(); ++y) {
+    DYNBCAST_ASSERT_MSG(heard[y].size() == heard.size() && heard[y].test(y),
+                        "heard row must be n-sized and contain itself");
+  }
+  sim.heard_ = std::move(heard);
+  sim.round_ = round;
+  return sim;
+}
+
+void BroadcastSim::reset() {
+  round_ = 0;
+  for (std::size_t y = 0; y < n_; ++y) {
+    heard_[y].clear();
+    heard_[y].set(y);
+  }
+}
+
+void BroadcastSim::applyTree(const RootedTree& tree) {
+  DYNBCAST_ASSERT_MSG(tree.size() == n_, "tree size mismatch");
+  applyTreeTo(heard_, tree);
+  ++round_;
+}
+
+void BroadcastSim::applyTreeTo(std::vector<DynBitset>& heard,
+                               const RootedTree& tree) {
+  DYNBCAST_ASSERT_MSG(tree.size() == heard.size(), "tree size mismatch");
+  // Reverse-BFS: every child is updated before its parent, so the
+  // parent's heard set still holds its round-(t-1) value when read.
+  const std::vector<std::size_t> order = tree.bfsOrder();
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::size_t y = order[i];
+    const std::size_t p = tree.parent(y);
+    if (p != y) heard[y].orWith(heard[p]);
+  }
+}
+
+void BroadcastSim::applyGraph(const BitMatrix& g) {
+  DYNBCAST_ASSERT_MSG(g.dim() == n_, "graph size mismatch");
+  DYNBCAST_ASSERT_MSG(g.isReflexive(),
+                      "model requires self-loops (no forgetting)");
+  // Heard_{t+1}(y) = ∪ {Heard_t(x) : (x, y) ∈ g}. Arbitrary in-degree
+  // needs the double buffer.
+  for (std::size_t y = 0; y < n_; ++y) {
+    scratch_[y] = heard_[y];
+  }
+  for (std::size_t x = 0; x < n_; ++x) {
+    const DynBitset& row = g.row(x);
+    for (std::size_t y = row.findFirst(); y < n_; y = row.findNext(y + 1)) {
+      if (y != x) scratch_[y].orWith(heard_[x]);
+    }
+  }
+  heard_.swap(scratch_);
+  ++round_;
+}
+
+BitMatrix BroadcastSim::reachMatrix() const {
+  BitMatrix reach(n_);
+  for (std::size_t y = 0; y < n_; ++y) {
+    const DynBitset& h = heard_[y];
+    for (std::size_t x = h.findFirst(); x < n_; x = h.findNext(x + 1)) {
+      reach.set(x, y);
+    }
+  }
+  return reach;
+}
+
+DynBitset BroadcastSim::broadcasters() const {
+  DynBitset common = heard_[0];
+  for (std::size_t y = 1; y < n_; ++y) common.andWith(heard_[y]);
+  return common;
+}
+
+bool BroadcastSim::broadcastDone() const { return broadcasters().any(); }
+
+bool BroadcastSim::gossipDone() const {
+  for (const auto& h : heard_) {
+    if (!h.all()) return false;
+  }
+  return true;
+}
+
+RoundMetrics BroadcastSim::metrics() const {
+  return computeMetrics(reachMatrix(), round_);
+}
+
+namespace {
+
+BroadcastRun runUntil(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds, bool recordHistory,
+    const std::function<bool(const BroadcastSim&)>& done) {
+  BroadcastSim sim(n);
+  BroadcastRun run;
+  if (done(sim)) {
+    run.completed = true;
+    return run;
+  }
+  while (sim.round() < maxRounds) {
+    sim.applyTree(nextTree(sim));
+    if (recordHistory) run.history.push_back(sim.metrics());
+    if (done(sim)) {
+      run.rounds = sim.round();
+      run.completed = true;
+      return run;
+    }
+  }
+  run.rounds = sim.round();
+  run.completed = false;
+  return run;
+}
+
+}  // namespace
+
+BroadcastRun runBroadcast(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds, bool recordHistory) {
+  return runUntil(n, nextTree, maxRounds, recordHistory,
+                  [](const BroadcastSim& s) { return s.broadcastDone(); });
+}
+
+BroadcastRun runGossip(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds, bool recordHistory) {
+  return runUntil(n, nextTree, maxRounds, recordHistory,
+                  [](const BroadcastSim& s) { return s.gossipDone(); });
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,114 @@
+// BroadcastSim: the fast reference implementation of the paper's model
+// (Definitions 2.1–2.3).
+//
+// State: the heard-of matrix H, where row y is
+//   Heard_t(y) = {x : (x, y) ∈ G(t)},   G(t) = G_1 ∘ … ∘ G_t,
+// i.e. the transpose of the product graph. Applying a rooted tree G_{t+1}
+// is the recurrence Heard_{t+1}(y) = Heard_t(y) ∪ Heard_t(parent(y)),
+// executed in reverse-BFS order so the update is in-place (children read
+// their parent's round-t value before the parent mutates) — O(n²/64)
+// words per round.
+//
+// Broadcast is done when ⋂_y Heard(y) ≠ ∅ (some x heard by everyone);
+// gossip is done when every Heard(y) = [n].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/graph/bitmatrix.h"
+#include "src/sim/metrics.h"
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+class BroadcastSim {
+ public:
+  /// n processes; initially every process has heard only of itself
+  /// (G(0) is the identity).
+  explicit BroadcastSim(std::size_t n);
+
+  /// Resumes from an explicit heard-of matrix (row y = Heard(y)); used by
+  /// search adversaries exploring hypothetical future states. Every row
+  /// must contain its own index (self-loops are never forgotten).
+  [[nodiscard]] static BroadcastSim fromHeard(std::vector<DynBitset> heard,
+                                              std::size_t round = 0);
+
+  [[nodiscard]] std::size_t processCount() const noexcept { return n_; }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// Applies one synchronous round along the given rooted tree (the
+  /// self-loops of the model are implicit in the recurrence).
+  void applyTree(const RootedTree& tree);
+
+  /// The heard-of recurrence applied to a standalone matrix (row y =
+  /// Heard(y)). Adaptive adversaries use this to evaluate candidate trees
+  /// on copies of the live state without constructing a simulator.
+  static void applyTreeTo(std::vector<DynBitset>& heard,
+                          const RootedTree& tree);
+
+  /// Applies one round along an arbitrary reflexive directed graph (used
+  /// for the nonsplit-adversary experiments). The graph must have all
+  /// self-loops, matching the model's no-forgetting guarantee.
+  void applyGraph(const BitMatrix& g);
+
+  /// Heard set of process y: who y has heard of so far.
+  [[nodiscard]] const DynBitset& heardBy(std::size_t y) const noexcept {
+    return heard_[y];
+  }
+
+  /// The heard-of matrix (row y = Heard(y)); the transpose of G(t).
+  [[nodiscard]] const std::vector<DynBitset>& heardMatrix() const noexcept {
+    return heard_;
+  }
+
+  /// The product graph G(t) itself (row x = who x has reached).
+  [[nodiscard]] BitMatrix reachMatrix() const;
+
+  /// Set of processes heard by everyone: ⋂_y Heard(y).
+  [[nodiscard]] DynBitset broadcasters() const;
+
+  /// True when some process has been heard by everyone (t* reached).
+  [[nodiscard]] bool broadcastDone() const;
+
+  /// True when everyone has heard of everyone (gossip complete).
+  [[nodiscard]] bool gossipDone() const;
+
+  [[nodiscard]] RoundMetrics metrics() const;
+
+  /// Returns to round 0 (identity state).
+  void reset();
+
+ private:
+  std::size_t n_;
+  std::size_t round_ = 0;
+  std::vector<DynBitset> heard_;
+  std::vector<DynBitset> scratch_;
+};
+
+/// Outcome of a driven simulation run.
+struct BroadcastRun {
+  /// Rounds executed until completion (== t* when completed).
+  std::size_t rounds = 0;
+  bool completed = false;
+  /// Per-round metrics (entry r describes the state after round r+1);
+  /// empty unless requested.
+  std::vector<RoundMetrics> history;
+};
+
+/// Drives a BroadcastSim with trees supplied by `nextTree` (which may
+/// inspect the state — adaptive adversaries do) until broadcast completes
+/// or maxRounds is hit.
+[[nodiscard]] BroadcastRun runBroadcast(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds, bool recordHistory = false);
+
+/// Same driver but runs to gossip completion (everyone heard everyone).
+[[nodiscard]] BroadcastRun runGossip(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds, bool recordHistory = false);
+
+}  // namespace dynbcast

@@ -1,0 +1,35 @@
+#include "src/sim/gossip.h"
+
+namespace dynbcast {
+
+GossipComparison runGossipComparison(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds) {
+  BroadcastSim sim(n);
+  GossipComparison cmp;
+  if (sim.broadcastDone()) {
+    cmp.broadcastCompleted = true;
+  }
+  if (sim.gossipDone()) {
+    cmp.gossipCompleted = true;
+    return cmp;
+  }
+  while (sim.round() < maxRounds) {
+    sim.applyTree(nextTree(sim));
+    if (!cmp.broadcastCompleted && sim.broadcastDone()) {
+      cmp.broadcastCompleted = true;
+      cmp.broadcastRounds = sim.round();
+    }
+    if (sim.gossipDone()) {
+      cmp.gossipCompleted = true;
+      cmp.gossipRounds = sim.round();
+      return cmp;
+    }
+  }
+  cmp.gossipRounds = sim.round();
+  if (!cmp.broadcastCompleted) cmp.broadcastRounds = sim.round();
+  return cmp;
+}
+
+}  // namespace dynbcast

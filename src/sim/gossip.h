@@ -1,0 +1,34 @@
+// Gossip (all-to-all dissemination) helpers — the §5 "future work"
+// extension: the same dynamic-rooted-tree adversary, but the run ends only
+// when every process has heard of every process.
+//
+// Facts exercised by tests/benches: t*_gossip ≥ t*_broadcast on every
+// sequence, and no *static* tree ever completes gossip for n ≥ 2 (a leaf
+// has no out-edges besides its self-loop, so its id never propagates) —
+// while dynamic sequences such as alternating reversed paths finish in
+// Θ(n). Gossip termination is therefore a genuinely dynamic phenomenon.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/broadcast_sim.h"
+
+namespace dynbcast {
+
+/// Result of comparing broadcast and gossip completion on one sequence.
+struct GossipComparison {
+  std::size_t broadcastRounds = 0;
+  std::size_t gossipRounds = 0;
+  bool broadcastCompleted = false;
+  bool gossipCompleted = false;
+};
+
+/// Runs one simulation to gossip completion, recording when broadcast
+/// completed along the way. `nextTree` sees the live state.
+[[nodiscard]] GossipComparison runGossipComparison(
+    std::size_t n,
+    const std::function<RootedTree(const BroadcastSim&)>& nextTree,
+    std::size_t maxRounds);
+
+}  // namespace dynbcast

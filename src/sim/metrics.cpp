@@ -1,0 +1,47 @@
+#include "src/sim/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dynbcast {
+
+RoundMetrics computeMetrics(const BitMatrix& reach, std::size_t round) {
+  const std::size_t n = reach.dim();
+  RoundMetrics m;
+  m.round = round;
+  // Row x of `reach` = set of y that x has reached. |Heard(y)| is the
+  // column weight; coverage of x is the row weight.
+  std::size_t total = 0;
+  m.maxCoverage = 0;
+  m.completeRows = 0;
+  for (std::size_t x = 0; x < n; ++x) {
+    const std::size_t w = reach.row(x).count();
+    total += w;
+    m.maxCoverage = std::max(m.maxCoverage, w);
+    if (w == n) ++m.completeRows;
+  }
+  m.totalEdges = total;
+  const BitMatrix heard = reach.transposed();
+  m.minHeard = n;
+  m.maxHeard = 0;
+  m.completeCols = 0;
+  for (std::size_t y = 0; y < n; ++y) {
+    const std::size_t w = heard.row(y).count();
+    m.minHeard = std::min(m.minHeard, w);
+    m.maxHeard = std::max(m.maxHeard, w);
+    if (w == n) ++m.completeCols;
+  }
+  m.avgHeard = n == 0 ? 0.0 : static_cast<double>(total) /
+                                   static_cast<double>(n);
+  return m;
+}
+
+std::string RoundMetrics::toString() const {
+  std::ostringstream os;
+  os << "round=" << round << " edges=" << totalEdges << " heard=[" << minHeard
+     << "/" << avgHeard << "/" << maxHeard << "] maxCoverage=" << maxCoverage
+     << " completeRows=" << completeRows << " completeCols=" << completeCols;
+  return os.str();
+}
+
+}  // namespace dynbcast

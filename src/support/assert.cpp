@@ -1,0 +1,17 @@
+#include "src/support/assert.h"
+
+#include <sstream>
+
+namespace dynbcast::detail {
+
+void assertFail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  std::ostringstream os;
+  os << "DYNBCAST_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw AssertionError(os.str());
+}
+
+}  // namespace dynbcast::detail

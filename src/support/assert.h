@@ -1,0 +1,39 @@
+// Checked assertion machinery for the dynbcast library.
+//
+// DYNBCAST_ASSERT is active in all build types (the library's correctness
+// claims are the whole point of the project, and the checks are cheap
+// relative to the O(n^2) simulation work they guard). Failures throw
+// AssertionError rather than aborting, so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dynbcast {
+
+/// Thrown when a DYNBCAST_ASSERT condition is violated.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertFail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+}  // namespace detail
+
+}  // namespace dynbcast
+
+#define DYNBCAST_ASSERT(expr)                                              \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::dynbcast::detail::assertFail(#expr, __FILE__, __LINE__, "");       \
+    }                                                                      \
+  } while (false)
+
+#define DYNBCAST_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::dynbcast::detail::assertFail(#expr, __FILE__, __LINE__, (msg));    \
+    }                                                                      \
+  } while (false)

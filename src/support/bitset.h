@@ -1,0 +1,138 @@
+// DynBitset: a fixed-capacity-at-construction dynamic bitset built on
+// 64-bit words.
+//
+// This is the workhorse of the whole library: heard-of sets, adjacency
+// matrix rows, and reachability sets are all DynBitsets. The broadcast
+// simulator's per-round cost is O(n^2/64) thanks to word-parallel OR.
+//
+// Unlike std::vector<bool>, DynBitset exposes word-level bulk operations
+// (orWith, andWith, intersects, isSupersetOf, count) and guarantees that
+// all bits past size() are zero (the "tail invariant"), so whole-set
+// predicates are plain word comparisons.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+class DynBitset {
+ public:
+  /// An empty bitset of size 0.
+  DynBitset() = default;
+
+  /// A bitset with `size` bits, all zero.
+  explicit DynBitset(std::size_t size)
+      : size_(size), words_((size + kBits - 1) / kBits, 0u) {}
+
+  /// Number of bits.
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// True when size() == 0.
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Value of bit `i`. Precondition: i < size().
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i / kBits] >> (i % kBits)) & 1u;
+  }
+
+  /// Sets bit `i` to 1. Precondition: i < size().
+  void set(std::size_t i) noexcept {
+    words_[i / kBits] |= (kOne << (i % kBits));
+  }
+
+  /// Sets bit `i` to `value`. Precondition: i < size().
+  void assign(std::size_t i, bool value) noexcept {
+    if (value) {
+      set(i);
+    } else {
+      reset(i);
+    }
+  }
+
+  /// Clears bit `i`. Precondition: i < size().
+  void reset(std::size_t i) noexcept {
+    words_[i / kBits] &= ~(kOne << (i % kBits));
+  }
+
+  /// Clears all bits.
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Sets all bits (respecting the tail invariant).
+  void setAll() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True when at least one bit is set.
+  [[nodiscard]] bool any() const noexcept;
+
+  /// True when no bit is set.
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// True when every bit is set.
+  [[nodiscard]] bool all() const noexcept;
+
+  /// In-place union. Precondition: other.size() == size().
+  void orWith(const DynBitset& other) noexcept;
+
+  /// In-place intersection. Precondition: other.size() == size().
+  void andWith(const DynBitset& other) noexcept;
+
+  /// In-place difference (this \ other). Precondition: sizes equal.
+  void subtract(const DynBitset& other) noexcept;
+
+  /// True when the intersection with `other` is non-empty.
+  [[nodiscard]] bool intersects(const DynBitset& other) const noexcept;
+
+  /// True when every bit of `other` is also set here.
+  [[nodiscard]] bool isSupersetOf(const DynBitset& other) const noexcept;
+
+  /// Index of the lowest set bit, or size() when none.
+  [[nodiscard]] std::size_t findFirst() const noexcept;
+
+  /// Index of the lowest set bit >= from, or size() when none.
+  [[nodiscard]] std::size_t findNext(std::size_t from) const noexcept;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> toIndices() const;
+
+  /// "0101…" rendering, bit 0 first.
+  [[nodiscard]] std::string toString() const;
+
+  /// 64-bit mix of the contents, suitable for hash maps.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// Lexicographic-by-word order; usable as a map key.
+  friend bool operator<(const DynBitset& a, const DynBitset& b) noexcept {
+    if (a.size_ != b.size_) return a.size_ < b.size_;
+    return a.words_ < b.words_;
+  }
+
+  /// Raw word storage (read-only), for word-parallel algorithms.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  static constexpr std::size_t kBits = 64;
+
+ private:
+  static constexpr std::uint64_t kOne = 1;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+std::ostream& operator<<(std::ostream& os, const DynBitset& bs);
+
+}  // namespace dynbcast

@@ -1,0 +1,47 @@
+#include "src/support/format.h"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace dynbcast {
+
+std::string fmtDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmtCount(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  std::size_t lead = raw.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string padLeft(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return std::string(width - s.size(), ' ') + s;
+}
+
+std::string padRight(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s;
+  return s + std::string(width - s.size(), ' ');
+}
+
+}  // namespace dynbcast

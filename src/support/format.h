@@ -1,0 +1,23 @@
+// Small string formatting helpers shared by tables, traces, and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynbcast {
+
+/// Fixed-point rendering with `digits` decimals, e.g. fmtDouble(2.414, 3).
+[[nodiscard]] std::string fmtDouble(double v, int digits = 3);
+
+/// Thousands-separated integer rendering, e.g. "1,048,576".
+[[nodiscard]] std::string fmtCount(std::uint64_t v);
+
+/// Joins strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// Left/right padding to a minimum width.
+[[nodiscard]] std::string padLeft(const std::string& s, std::size_t width);
+[[nodiscard]] std::string padRight(const std::string& s, std::size_t width);
+
+}  // namespace dynbcast

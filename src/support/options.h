@@ -1,0 +1,54 @@
+// Minimal command-line option parsing for examples and bench binaries.
+//
+// Supports --key=value, --key value, and --flag forms. Unknown options are
+// an error (catches typos in experiment scripts); positional arguments are
+// collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dynbcast {
+
+class Options {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  Options(int argc, const char* const* argv);
+
+  /// Declares an option so it is accepted; returns its value if present.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& fallback) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& key,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t getUInt(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
+
+  /// True when --key was present at all (with or without value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& programName() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+/// Parses "8,16,32" or "8:64:2" (lo:hi:multiplicative-step) into a list.
+[[nodiscard]] std::vector<std::size_t> parseSizeList(const std::string& spec);
+
+}  // namespace dynbcast

@@ -1,0 +1,123 @@
+#include "src/tree/constrained.h"
+
+#include <algorithm>
+
+#include "src/support/assert.h"
+#include "src/tree/families.h"
+
+namespace dynbcast {
+
+namespace {
+
+// Random composition of `total` into `parts` positive integers:
+// choose parts−1 distinct cut points in {1, …, total−1}.
+std::vector<std::size_t> randomComposition(std::size_t total,
+                                           std::size_t parts, Rng& rng) {
+  DYNBCAST_ASSERT(parts >= 1 && parts <= total);
+  std::vector<std::size_t> cuts;
+  cuts.reserve(parts + 1);
+  // Floyd's algorithm for a uniform (parts−1)-subset of {1, …, total−1}.
+  for (std::size_t j = total - parts + 1; j <= total - 1; ++j) {
+    const std::size_t t = rng.uniform(j) + 1;  // in {1, …, j}
+    if (std::find(cuts.begin(), cuts.end(), t) == cuts.end()) {
+      cuts.push_back(t);
+    } else {
+      cuts.push_back(j);
+    }
+  }
+  cuts.push_back(0);
+  cuts.push_back(total);
+  std::sort(cuts.begin(), cuts.end());
+  std::vector<std::size_t> lens(parts);
+  for (std::size_t i = 0; i < parts; ++i) lens[i] = cuts[i + 1] - cuts[i];
+  return lens;
+}
+
+}  // namespace
+
+RootedTree makeTreeWithKLeaves(const std::vector<std::size_t>& order,
+                               std::size_t k, Rng& rng) {
+  const std::size_t n = order.size();
+  DYNBCAST_ASSERT_MSG(n >= 2, "need n >= 2 for a leaf-constrained tree");
+  DYNBCAST_ASSERT_MSG(k >= 1 && k <= n - 1, "k must be in [1, n-1]");
+  const std::vector<std::size_t> chainLen = randomComposition(n - 1, k, rng);
+
+  // The tree is k downward chains. Chain 0 hangs off the root; every later
+  // chain hangs off a node that already has a child, so each chain
+  // contributes exactly one leaf (its tail).
+  std::vector<std::size_t> parent(n);
+  const std::size_t root = order[0];
+  parent[root] = root;
+  std::vector<std::size_t> childCount(n, 0);
+  std::vector<std::size_t> attachable;  // nodes with >= 1 child
+  const auto link = [&](std::size_t child, std::size_t par) {
+    parent[child] = par;
+    if (++childCount[par] == 1) attachable.push_back(par);
+  };
+  std::size_t idx = 1;
+  for (std::size_t c = 0; c < k; ++c) {
+    std::size_t prev =
+        c == 0 ? root : attachable[rng.uniform(attachable.size())];
+    for (std::size_t j = 0; j < chainLen[c]; ++j, ++idx) {
+      link(order[idx], prev);
+      prev = order[idx];
+    }
+  }
+  RootedTree t(root, std::move(parent));
+  DYNBCAST_ASSERT_MSG(t.leafCount() == k, "constructed leaf count mismatch");
+  return t;
+}
+
+RootedTree randomTreeWithKLeaves(std::size_t n, std::size_t k, Rng& rng) {
+  return makeTreeWithKLeaves(rng.permutation(n), k, rng);
+}
+
+RootedTree makeTreeWithKInnerNodes(const std::vector<std::size_t>& order,
+                                   std::size_t k, Rng& rng) {
+  const std::size_t n = order.size();
+  DYNBCAST_ASSERT_MSG(n >= 2, "need n >= 2");
+  DYNBCAST_ASSERT_MSG(k >= 1 && k <= n - 1, "k must be in [1, n-1]");
+  const std::size_t leafBudget = n - k;
+
+  std::vector<std::size_t> parent(n);
+  const std::size_t root = order[0];
+  parent[root] = root;
+
+  if (k == 1) {
+    // A star: the root is the only inner node.
+    for (std::size_t i = 1; i < n; ++i) parent[order[i]] = root;
+    return RootedTree(root, std::move(parent));
+  }
+
+  // Skeleton: the k inner nodes form a tree whose own leaf count we cap by
+  // the real-leaf budget, since each skeleton leaf must receive at least
+  // one real leaf child to count as inner. The skeleton is built over
+  // positions [0, k) and then mapped to labels via `order`.
+  std::vector<std::size_t> positions(k);
+  for (std::size_t i = 0; i < k; ++i) positions[i] = i;
+  const std::size_t maxSkelLeaves = std::min(k - 1, leafBudget);
+  const std::size_t skelLeaves = 1 + rng.uniform(maxSkelLeaves);
+  const RootedTree skeleton = makeTreeWithKLeaves(positions, skelLeaves, rng);
+  DYNBCAST_ASSERT(skeleton.root() == 0);  // position 0 maps to `root`
+  for (std::size_t i = 1; i < k; ++i) {
+    parent[order[i]] = order[skeleton.parent(i)];
+  }
+  // One real leaf under each skeleton leaf, the rest spread uniformly.
+  std::size_t idx = k;
+  for (const std::size_t sl : skeleton.leaves()) {
+    parent[order[idx++]] = order[sl];
+  }
+  for (; idx < n; ++idx) {
+    parent[order[idx]] = order[rng.uniform(k)];
+  }
+
+  RootedTree t(root, std::move(parent));
+  DYNBCAST_ASSERT_MSG(t.innerCount() == k, "constructed inner count mismatch");
+  return t;
+}
+
+RootedTree randomTreeWithKInnerNodes(std::size_t n, std::size_t k, Rng& rng) {
+  return makeTreeWithKInnerNodes(rng.permutation(n), k, rng);
+}
+
+}  // namespace dynbcast

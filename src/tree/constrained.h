@@ -1,0 +1,39 @@
+// Generators for the restricted adversary classes of Zeiner, Schwarz &
+// Schmid [14], which the paper cites in Figure 1: trees with exactly k
+// leaves, and trees with exactly k inner (non-leaf) nodes. Broadcast time
+// under adversaries restricted to either class is O(kn).
+//
+// The generators are constructive (no rejection), so exact small k — the
+// regime where the O(kn) bounds bite — is cheap at any n. They are not
+// exactly uniform over their class; they are documented adversary move
+// generators, not samplers for counting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+/// A rooted tree on [n] with exactly `k` leaves over the node placement
+/// `order` (a permutation of [n]; order[0] becomes the root). Chain
+/// lengths are randomized. Preconditions: 1 ≤ k ≤ n−1 (n ≥ 2).
+[[nodiscard]] RootedTree makeTreeWithKLeaves(
+    const std::vector<std::size_t>& order, std::size_t k, Rng& rng);
+
+/// Uniformly-placed random tree with exactly k leaves.
+[[nodiscard]] RootedTree randomTreeWithKLeaves(std::size_t n, std::size_t k,
+                                               Rng& rng);
+
+/// A rooted tree on [n] with exactly `k` inner nodes (nodes with ≥1
+/// child) over the node placement `order`. Preconditions: 1 ≤ k ≤ n−1.
+[[nodiscard]] RootedTree makeTreeWithKInnerNodes(
+    const std::vector<std::size_t>& order, std::size_t k, Rng& rng);
+
+/// Uniformly-placed random tree with exactly k inner nodes.
+[[nodiscard]] RootedTree randomTreeWithKInnerNodes(std::size_t n,
+                                                   std::size_t k, Rng& rng);
+
+}  // namespace dynbcast

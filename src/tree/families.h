@@ -1,0 +1,54 @@
+// Structured tree families used by adversaries, tests, and benches.
+//
+// All constructors take explicit node orderings so adaptive adversaries
+// can place specific processes at specific positions (the essence of the
+// delaying strategies in [14] and of our greedy adversaries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+/// Path order[0] → order[1] → … → order[n−1]; order must be a permutation
+/// of [n]. Height n−1 — the slowest static tree.
+[[nodiscard]] RootedTree makePath(const std::vector<std::size_t>& order);
+
+/// Identity path 0 → 1 → … → n−1.
+[[nodiscard]] RootedTree makePath(std::size_t n);
+
+/// Star: `center` is the root with all other nodes as direct children.
+[[nodiscard]] RootedTree makeStar(std::size_t n, std::size_t center);
+
+/// Broom: a path over the first `handleLen` entries of `order`, with every
+/// remaining node attached as a child of the path's last node. A broom
+/// with handleLen = n−1 is a path; handleLen = 1 is a star.
+[[nodiscard]] RootedTree makeBroom(const std::vector<std::size_t>& order,
+                                   std::size_t handleLen);
+
+/// Caterpillar: spine over the first `spineLen` entries of `order`; the
+/// remaining nodes are attached round-robin to the spine nodes.
+[[nodiscard]] RootedTree makeCaterpillar(const std::vector<std::size_t>& order,
+                                         std::size_t spineLen);
+
+/// Complete k-ary tree in BFS label order of `order` (order[0] is the root,
+/// next k nodes its children, …).
+[[nodiscard]] RootedTree makeKAry(const std::vector<std::size_t>& order,
+                                  std::size_t k);
+
+/// Spider: `legs` paths of as-even-as-possible length hanging off the root
+/// order[0]. legs must be in [1, n−1] for n > 1.
+[[nodiscard]] RootedTree makeSpider(const std::vector<std::size_t>& order,
+                                    std::size_t legs);
+
+/// Double broom: a bundle of `headLeaves` leaves under the root, then a
+/// path, then `tailLeaves` leaves at the bottom. Used by delaying
+/// adversaries: the top bundle keeps many nodes uninformed-of, the bottom
+/// bundle keeps many nodes uninformed.
+[[nodiscard]] RootedTree makeDoubleBroom(const std::vector<std::size_t>& order,
+                                         std::size_t headLeaves,
+                                         std::size_t tailLeaves);
+
+}  // namespace dynbcast

@@ -1,0 +1,37 @@
+// Prüfer-sequence bijection for labeled trees.
+//
+// Labeled (undirected) trees on n ≥ 2 nodes are in bijection with
+// sequences in [n]^(n−2). Rooting each tree at each of its n nodes gives
+// the n^(n−1) rooted trees the adversary chooses from, which is how the
+// library both samples uniformly and exhaustively enumerates T_n.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+/// Undirected labeled tree as an edge list (n−1 edges on nodes [n]).
+using UndirectedTree = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Decodes a Prüfer sequence of length n−2 into the unique labeled tree on
+/// n = seq.size() + 2 nodes. All entries must be < n.
+[[nodiscard]] UndirectedTree pruferDecode(
+    const std::vector<std::size_t>& seq);
+
+/// Encodes a labeled tree on n ≥ 2 nodes into its Prüfer sequence.
+[[nodiscard]] std::vector<std::size_t> pruferEncode(std::size_t n,
+                                                    const UndirectedTree& t);
+
+/// Orients an undirected tree away from `root`, producing a RootedTree.
+[[nodiscard]] RootedTree orientTree(std::size_t n, const UndirectedTree& t,
+                                    std::size_t root);
+
+/// Convenience: decode + orient.
+[[nodiscard]] RootedTree rootedFromPrufer(const std::vector<std::size_t>& seq,
+                                          std::size_t root);
+
+}  // namespace dynbcast

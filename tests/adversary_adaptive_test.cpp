@@ -1,0 +1,266 @@
+#include "src/adversary/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "src/adversary/local_search.h"
+#include "src/adversary/oblivious.h"
+#include "src/bounds/bounds.h"
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(CoverageTest, InitialCoverageIsOne) {
+  BroadcastSim sim(6);
+  const auto cov = coverageCounts(sim);
+  for (const std::size_t c : cov) EXPECT_EQ(c, 1u);
+}
+
+TEST(CoverageTest, StarMakesCenterFullCoverage) {
+  BroadcastSim sim(6);
+  sim.applyTree(makeStar(6, 2));
+  const auto cov = coverageCounts(sim);
+  EXPECT_EQ(cov[2], 6u);
+  for (std::size_t x = 0; x < 6; ++x) {
+    if (x != 2) EXPECT_EQ(cov[x], 1u);
+  }
+}
+
+TEST(EvaluateCandidateTest, MatchesActualApplication) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.uniform(10);
+    BroadcastSim sim(n);
+    for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
+    const auto covBefore = coverageCounts(sim);
+    const std::size_t edgesBefore = sim.metrics().totalEdges;
+    const RootedTree candidate = randomRootedTree(n, rng);
+    const DelayScore score =
+        evaluateCandidate(sim.heardMatrix(), covBefore, candidate);
+    // Now actually apply and compare.
+    sim.applyTree(candidate);
+    const auto covAfter = coverageCounts(sim);
+    const std::size_t maxCov =
+        *std::max_element(covAfter.begin(), covAfter.end());
+    EXPECT_EQ(score.maxCoverage, maxCov);
+    EXPECT_EQ(score.finishes, sim.broadcastDone());
+    EXPECT_EQ(score.newEdges, sim.metrics().totalEdges - edgesBefore);
+  }
+}
+
+std::vector<std::size_t> identityBase(std::size_t n) {
+  std::vector<std::size_t> base(n);
+  for (std::size_t i = 0; i < n; ++i) base[i] = i;
+  return base;
+}
+
+TEST(FreezeOrderingTest, NonKnowersPrecedeKnowers) {
+  Rng rng(21);
+  BroadcastSim sim(10);
+  for (int r = 0; r < 4; ++r) sim.applyTree(randomPath(10, rng));
+  const auto cov = coverageCounts(sim);
+  const std::size_t leader = static_cast<std::size_t>(
+      std::max_element(cov.begin(), cov.end()) - cov.begin());
+  const auto order = freezeOrdering(sim, {leader}, identityBase(10));
+  bool seenKnower = false;
+  for (const std::size_t y : order) {
+    const bool knows = sim.heardBy(y).test(leader);
+    if (knows) seenKnower = true;
+    if (seenKnower) EXPECT_TRUE(knows) << "non-knower after knower block";
+  }
+}
+
+TEST(FreezeOrderingTest, StablePartitionPreservesRelativeOrder) {
+  Rng rng(22);
+  BroadcastSim sim(12);
+  for (int r = 0; r < 3; ++r) sim.applyTree(randomPath(12, rng));
+  const auto cov = coverageCounts(sim);
+  const std::size_t leader = static_cast<std::size_t>(
+      std::max_element(cov.begin(), cov.end()) - cov.begin());
+  const auto base = identityBase(12);
+  const auto order = freezeOrdering(sim, {leader}, base);
+  // Within the non-knower block and within the knower block, ids must
+  // stay in base (ascending) order — that is the stability guarantee.
+  std::vector<std::size_t> nonKnowers, knowers;
+  for (const std::size_t y : order) {
+    (sim.heardBy(y).test(leader) ? knowers : nonKnowers).push_back(y);
+  }
+  EXPECT_TRUE(std::is_sorted(nonKnowers.begin(), nonKnowers.end()));
+  EXPECT_TRUE(std::is_sorted(knowers.begin(), knowers.end()));
+}
+
+TEST(FreezeOrderingTest, FreezePathFreezesLeaderCoverage) {
+  // The defining property: after one freeze-path round, the leader's
+  // coverage must not have grown.
+  Rng rng(33);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 4 + rng.uniform(12);
+    BroadcastSim sim(n);
+    for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
+    if (sim.broadcastDone()) continue;
+    auto cov = coverageCounts(sim);
+    const std::size_t leader = static_cast<std::size_t>(
+        std::max_element(cov.begin(), cov.end()) - cov.begin());
+    const std::size_t before = cov[leader];
+    FreezePathAdversary adv(n, 1);
+    sim.applyTree(adv.nextTree(sim));
+    EXPECT_EQ(coverageCounts(sim)[leader], before);
+  }
+}
+
+TEST(AdaptiveAdversaryTest, FreezeCompletesWithinTheorem) {
+  // Online freeze play is myopic (see adaptive.h header notes): it is not
+  // guaranteed to beat the static baseline, but it must stay within the
+  // theorem's upper bound and terminate.
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    FreezePathAdversary adv(n, 2);
+    const BroadcastRun run = runAdversary(n, adv, defaultRoundCap(n));
+    ASSERT_TRUE(run.completed) << "freeze adversary hit the round cap";
+    EXPECT_LE(run.rounds, bounds::linearUpper(n)) << "n=" << n;
+  }
+}
+
+TEST(AdaptiveAdversaryTest, GreedyDelayAtLeastStaticPath) {
+  // GreedyDelay's candidate pool contains its own previous path, so with
+  // the identity initialization it can always realize the static-path
+  // value n−1; one-step lookahead cannot be forced below it.
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    GreedyDelayAdversary adv(n, 7);
+    const BroadcastRun run = runAdversary(n, adv, defaultRoundCap(n));
+    ASSERT_TRUE(run.completed);
+    EXPECT_GE(run.rounds, n - 1) << "n=" << n;
+    EXPECT_LE(run.rounds, bounds::linearUpper(n)) << "n=" << n;
+  }
+}
+
+TEST(AdaptiveAdversaryTest, HeardOrderPathsComplete) {
+  for (const bool asc : {true, false}) {
+    HeardOrderPathAdversary adv(12, asc);
+    const BroadcastRun run = runAdversary(12, adv, defaultRoundCap(12));
+    EXPECT_TRUE(run.completed);
+    EXPECT_LE(run.rounds, bounds::linearUpper(12));
+  }
+}
+
+TEST(LocalSearchTest, CompletesWithinBound) {
+  const std::size_t n = 16;
+  LocalSearchPathAdversary adv(n, 13);
+  const BroadcastRun run = runAdversary(n, adv, defaultRoundCap(n));
+  ASSERT_TRUE(run.completed);
+  EXPECT_LE(run.rounds, bounds::linearUpper(n));
+}
+
+TEST(LocalSearchTest, DeterministicPerSeed) {
+  LocalSearchPathAdversary adv(10, 21);
+  const BroadcastRun a = runAdversary(10, adv, defaultRoundCap(10));
+  const BroadcastRun b = runAdversary(10, adv, defaultRoundCap(10));
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(DelayScoreTest, LexicographicOrdering) {
+  DelayScore finishing{true, 0.0, 0, 0};
+  DelayScore calm{false, 100.0, 5, 3};
+  DelayScore calmer{false, 50.0, 9, 9};
+  EXPECT_TRUE(calm < finishing);    // never finish if avoidable
+  EXPECT_TRUE(calmer < calm);       // lower potential wins
+  DelayScore tiePotential{false, 50.0, 8, 9};
+  EXPECT_TRUE(tiePotential < calmer);  // then lower max coverage
+}
+
+TEST(DamageGreedyTreeTest, ProducesValidTreeWithRequestedRoot) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.uniform(12);
+    BroadcastSim sim(n);
+    for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
+    const auto cov = coverageCounts(sim);
+    const std::size_t root = rng.uniform(n);
+    const RootedTree t = buildDamageGreedyTree(sim, cov, root);
+    EXPECT_EQ(t.root(), root);
+    EXPECT_EQ(t.size(), n);
+  }
+}
+
+TEST(DamageGreedyTreeTest, AvoidsFinishingWhenAlternativeExists) {
+  // Mid-game, the damage tree should not hand the leader its last
+  // missing process if any cheaper attachment exists.
+  Rng rng(41);
+  BroadcastSim sim(10);
+  for (int r = 0; r < 5; ++r) sim.applyTree(randomPath(10, rng));
+  if (!sim.broadcastDone()) {
+    const auto cov = coverageCounts(sim);
+    const RootedTree t = buildDamageGreedyTree(sim, cov, 0);
+    const DelayScore s = evaluateCandidate(sim.heardMatrix(), cov, t);
+    // A path exists that does not finish (the previous path froze);
+    // damage-greedy must find SOME non-finishing tree too.
+    EXPECT_FALSE(s.finishes);
+  }
+}
+
+TEST(NoisyDamageTreeTest, NoiseDiversifiesConstruction) {
+  Rng rng(51);
+  BroadcastSim sim(12);
+  for (int r = 0; r < 4; ++r) sim.applyTree(randomRootedTree(12, rng));
+  const auto cov = coverageCounts(sim);
+  std::set<std::string> shapes;
+  for (int i = 0; i < 10; ++i) {
+    shapes.insert(buildNoisyDamageTree(sim, cov, 0, 8.0, rng).toString());
+  }
+  EXPECT_GT(shapes.size(), 1u) << "noise produced identical trees";
+}
+
+TEST(FreezeBroomTest, StaysInBothRestrictedClasses) {
+  const std::size_t n = 12;
+  for (const std::size_t handle : {3u, 6u, 9u}) {
+    FreezeBroomAdversary adv(n, handle);
+    adv.reset();
+    BroadcastSim sim(n);
+    for (int r = 0; r < 6 && !sim.broadcastDone(); ++r) {
+      const RootedTree t = adv.nextTree(sim);
+      EXPECT_EQ(t.innerCount(), handle) << "round " << r;
+      EXPECT_EQ(t.leafCount(), n - handle) << "round " << r;
+      sim.applyTree(t);
+    }
+  }
+}
+
+TEST(FreezeBroomTest, FullHandleDelaysLinearly) {
+  // handle n−1 behaves like a freeze path: completes, and takes at least
+  // a linear number of rounds (its static height alone is n−2).
+  const std::size_t n = 16;
+  FreezeBroomAdversary adv(n, n - 1);
+  const BroadcastRun run = runAdversary(n, adv, defaultRoundCap(n));
+  ASSERT_TRUE(run.completed);
+  EXPECT_GE(run.rounds, n / 2);
+}
+
+class AdaptiveUpperBoundSweep : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(AdaptiveUpperBoundSweep, NoAdversaryExceedsTheorem31) {
+  const std::size_t n = GetParam();
+  std::vector<std::unique_ptr<Adversary>> advs;
+  advs.push_back(std::make_unique<FreezePathAdversary>(n, 1));
+  advs.push_back(std::make_unique<FreezePathAdversary>(n, 3));
+  advs.push_back(std::make_unique<GreedyDelayAdversary>(n, 1));
+  advs.push_back(std::make_unique<HeardOrderPathAdversary>(n, true));
+  advs.push_back(std::make_unique<HeardOrderPathAdversary>(n, false));
+  for (auto& adv : advs) {
+    const BroadcastRun run = runAdversary(n, *adv, defaultRoundCap(n));
+    ASSERT_TRUE(run.completed) << adv->name() << " n=" << n;
+    EXPECT_LE(run.rounds, bounds::linearUpper(n))
+        << adv->name() << " violates Theorem 3.1 at n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AdaptiveUpperBoundSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 20, 40, 64));
+
+}  // namespace
+}  // namespace dynbcast

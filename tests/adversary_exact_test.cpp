@@ -1,0 +1,123 @@
+#include "src/adversary/exact_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bounds/bounds.h"
+#include "src/graph/properties.h"
+#include "src/sim/broadcast_sim.h"
+#include "src/support/assert.h"
+#include "src/tree/families.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(EncodingTest, IdentityEncodesDiagonal) {
+  const std::uint64_t s = ExactSolver::encodeIdentity(4);
+  for (std::size_t y = 0; y < 4; ++y) {
+    const std::uint64_t row = (s >> (y * 8)) & 0xFF;
+    EXPECT_EQ(row, std::uint64_t{1} << y);
+  }
+}
+
+TEST(EncodingTest, ApplyTreeMatchesRecurrence) {
+  // Path 0→1→2 on the identity: heard(1) gains 0, heard(2) gains 1.
+  const std::uint64_t s0 = ExactSolver::encodeIdentity(3);
+  const std::uint64_t s1 = ExactSolver::applyTreeEncoded(s0, {0, 0, 1});
+  EXPECT_EQ((s1 >> 0) & 0xFF, 0b001u);   // heard(0) = {0}
+  EXPECT_EQ((s1 >> 8) & 0xFF, 0b011u);   // heard(1) = {0,1}
+  EXPECT_EQ((s1 >> 16) & 0xFF, 0b110u);  // heard(2) = {1,2}
+}
+
+TEST(EncodingTest, BroadcastDetection) {
+  // Make node 2 heard by everyone on n = 3.
+  std::uint64_t s = ExactSolver::encodeIdentity(3);
+  s |= (std::uint64_t{1} << 2) << 0;
+  s |= (std::uint64_t{1} << 2) << 8;
+  EXPECT_TRUE(ExactSolver::isBroadcastState(s, 3));
+  EXPECT_FALSE(
+      ExactSolver::isBroadcastState(ExactSolver::encodeIdentity(3), 3));
+}
+
+TEST(EncodingTest, SingleStarRoundIsBroadcast) {
+  const std::uint64_t s0 = ExactSolver::encodeIdentity(4);
+  // Star centered at 1.
+  const std::uint64_t s1 = ExactSolver::applyTreeEncoded(s0, {1, 1, 1, 1});
+  EXPECT_TRUE(ExactSolver::isBroadcastState(s1, 4));
+}
+
+TEST(ExactSolverTest, RejectsOutOfRangeN) {
+  EXPECT_THROW(ExactSolver(1), AssertionError);
+  EXPECT_THROW(ExactSolver(9), AssertionError);
+}
+
+TEST(ExactSolverTest, N2IsOneRound) {
+  // Both trees on 2 nodes broadcast immediately: t*(T_2) = 1, which also
+  // equals the paper's lower bound ⌈(3·2−1)/2⌉−2 = 1.
+  ExactSolver solver(2);
+  const ExactResult r = solver.solve();
+  EXPECT_EQ(r.tStar, 1u);
+  EXPECT_EQ(r.tStar, bounds::lowerBound(2));
+}
+
+TEST(ExactSolverTest, CanonicalizationPreservesValue) {
+  for (const std::size_t n : {2u, 3u, 4u}) {
+    ExactSolver with(n, {.canonicalize = true});
+    ExactSolver without(n, {.canonicalize = false});
+    const ExactResult a = with.solve();
+    const ExactResult b = without.solve();
+    EXPECT_EQ(a.tStar, b.tStar) << "n=" << n;
+    EXPECT_LE(a.statesMemoized, b.statesMemoized) << "n=" << n;
+  }
+}
+
+class ExactBoundsTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ExactBoundsTest, ValueRespectsTheorem31) {
+  const std::size_t n = GetParam();
+  ExactSolver solver(n);
+  const ExactResult r = solver.solve();
+  // The exact game value must sit inside the theorem's bracket.
+  EXPECT_GE(r.tStar, bounds::lowerBound(n)) << "n=" << n;
+  EXPECT_LE(r.tStar, bounds::linearUpper(n)) << "n=" << n;
+  // And strictly above the static-path baseline for n ≥ 3 (the adversary
+  // can always do at least as well as any single tree).
+  EXPECT_GE(r.tStar, n - 1) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallN, ExactBoundsTest, ::testing::Values(2, 3, 4));
+
+TEST(OptimalPlayTest, SequenceAchievesGameValueOnSimulator) {
+  // The extracted optimal line of play is a machine-checkable
+  // certificate: replaying it reaches broadcast exactly at t*(T_n).
+  for (const std::size_t n : {2u, 3u, 4u, 5u}) {
+    ExactSolver solver(n);
+    const ExactResult exact = solver.solve();
+    const std::vector<RootedTree> play = solver.optimalPlay();
+    EXPECT_EQ(play.size(), exact.tStar) << "n=" << n;
+    BroadcastSim sim(n);
+    for (std::size_t r = 0; r < play.size(); ++r) {
+      EXPECT_FALSE(sim.broadcastDone())
+          << "broadcast before the sequence ended, n=" << n;
+      sim.applyTree(play[r]);
+    }
+    EXPECT_TRUE(sim.broadcastDone()) << "n=" << n;
+  }
+}
+
+TEST(OptimalPlayTest, AllMovesAreValidTrees) {
+  ExactSolver solver(4);
+  for (const RootedTree& t : solver.optimalPlay()) {
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_TRUE(isRootedTreeWithSelfLoops(t.toMatrix()));
+  }
+}
+
+TEST(ExactSolverTest, DepthCapViolationThrows) {
+  // A depth cap of 1 is impossible for n = 3 (t* > 1), so the safety net
+  // must fire rather than return a wrong value.
+  ExactSolver solver(3, {.canonicalize = true, .depthCap = 1});
+  EXPECT_THROW((void)solver.solve(), AssertionError);
+}
+
+}  // namespace
+}  // namespace dynbcast

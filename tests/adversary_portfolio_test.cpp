@@ -1,0 +1,76 @@
+#include "src/adversary/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include "src/bounds/bounds.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(PortfolioTest, StandardMembersPresent) {
+  const auto members = standardPortfolio(8, 1);
+  EXPECT_GE(members.size(), 8u);
+  bool hasStatic = false, hasGreedy = false, hasLocal = false;
+  for (const auto& m : members) {
+    hasStatic |= m.name == "static-path";
+    hasGreedy |= m.name == "greedy-delay";
+    hasLocal |= m.name == "local-search";
+  }
+  EXPECT_TRUE(hasStatic);
+  EXPECT_TRUE(hasGreedy);
+  EXPECT_TRUE(hasLocal);
+}
+
+TEST(PortfolioTest, FactoriesProduceNamedAdversaries) {
+  for (const auto& m : standardPortfolio(6, 2)) {
+    const auto adv = m.make();
+    ASSERT_NE(adv, nullptr);
+    EXPECT_EQ(adv->name(), m.name) << "factory/name mismatch";
+  }
+}
+
+TEST(PortfolioTest, AllMembersCompleteWithinTheorem) {
+  const PortfolioResult result = runPortfolio(12, 3);
+  ASSERT_FALSE(result.entries.empty());
+  for (const auto& e : result.entries) {
+    EXPECT_TRUE(e.completed) << e.name;
+    EXPECT_LE(e.rounds, bounds::linearUpper(12)) << e.name;
+  }
+  EXPECT_GT(result.bestRounds, 0u);
+  EXPECT_FALSE(result.bestName.empty());
+}
+
+TEST(PortfolioTest, BestIsMaxOfEntries) {
+  const PortfolioResult result = runPortfolio(10, 7);
+  std::size_t maxRounds = 0;
+  for (const auto& e : result.entries) {
+    if (e.completed) maxRounds = std::max(maxRounds, e.rounds);
+  }
+  EXPECT_EQ(result.bestRounds, maxRounds);
+}
+
+TEST(PortfolioTest, BestAtLeastStaticBaselineAtMidSize) {
+  // Online adversaries realize at least the static-path value; strictly
+  // beating it requires offline search (see BeamWitnessTest).
+  const PortfolioResult result = runPortfolio(16, 5);
+  EXPECT_GE(result.bestRounds, 15u) << "portfolio below static path";
+}
+
+TEST(PortfolioTest, SubsetRunsOnlyRequestedMembers) {
+  auto members = standardPortfolio(8, 1);
+  members.resize(2);
+  const PortfolioResult result = runPortfolio(8, 1, members);
+  EXPECT_EQ(result.entries.size(), 2u);
+}
+
+TEST(PortfolioTest, DeterministicAcrossInvocations) {
+  const PortfolioResult a = runPortfolio(10, 42);
+  const PortfolioResult b = runPortfolio(10, 42);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].rounds, b.entries[i].rounds) << a.entries[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace dynbcast

@@ -1,0 +1,135 @@
+#include "src/analysis/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/analysis/csv.h"
+#include "src/analysis/render.h"
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+SimTrace makeRandomTrace(std::size_t n, std::uint64_t seed,
+                         bool* completed = nullptr) {
+  Rng rng(seed);
+  return recordBroadcastTrace(
+      n, [&rng, n](const BroadcastSim&) { return randomRootedTree(n, rng); },
+      1000, seed, completed);
+}
+
+TEST(PotentialTest, InitialPotentialIsNTimesNMinus1) {
+  BroadcastSim sim(7);
+  EXPECT_EQ(potentialOf(sim), 7u * 6u);
+}
+
+TEST(PotentialTest, ZeroAtGossipCompletion) {
+  BroadcastSim sim(4);
+  const RootedTree fwd = makePath(4);
+  const RootedTree bwd = makePath({3, 2, 1, 0});
+  while (!sim.gossipDone()) {
+    sim.applyTree(sim.round() % 2 == 0 ? fwd : bwd);
+    ASSERT_LT(sim.round(), 50u);
+  }
+  EXPECT_EQ(potentialOf(sim), 0u);
+}
+
+TEST(EvolutionTest, PotentialStrictlyDecreasesBeforeBroadcast) {
+  bool completed = false;
+  const SimTrace trace = makeRandomTrace(10, 3, &completed);
+  ASSERT_TRUE(completed);
+  const EvolutionSummary summary = analyzeTrace(trace);
+  EXPECT_GE(summary.minPotentialDrop(), 1u);
+}
+
+TEST(EvolutionTest, BroadcastRoundMatchesTraceLength) {
+  bool completed = false;
+  const SimTrace trace = makeRandomTrace(9, 5, &completed);
+  ASSERT_TRUE(completed);
+  const EvolutionSummary summary = analyzeTrace(trace);
+  // recordBroadcastTrace stops exactly at broadcast.
+  EXPECT_EQ(summary.broadcastRound, trace.roundCount());
+}
+
+TEST(EvolutionTest, CoveredAllTimelineConsistent) {
+  bool completed = false;
+  const SimTrace trace = makeRandomTrace(8, 7, &completed);
+  ASSERT_TRUE(completed);
+  const EvolutionSummary summary = analyzeTrace(trace);
+  // Whoever covered everyone did so exactly at the broadcast round (the
+  // trace stops there), and nobody earlier.
+  std::size_t covered = 0;
+  for (std::size_t x = 0; x < summary.n; ++x) {
+    if (summary.coveredAllAt[x] != 0) {
+      ++covered;
+      EXPECT_EQ(summary.coveredAllAt[x], summary.broadcastRound);
+    }
+  }
+  EXPECT_GE(covered, 1u);
+}
+
+TEST(EvolutionTest, StaticPathTimeline) {
+  const SimTrace trace = [] {
+    return recordBroadcastTrace(
+        6, [](const BroadcastSim&) { return makePath(6); }, 100);
+  }();
+  const EvolutionSummary summary = analyzeTrace(trace);
+  EXPECT_EQ(summary.broadcastRound, 5u);
+  // Node 0 is the broadcaster; nobody hears from everyone on a static
+  // path except... node 5 hears all of 0..5 at round 5.
+  EXPECT_EQ(summary.coveredAllAt[0], 5u);
+  EXPECT_EQ(summary.heardAllAt[5], 5u);
+  EXPECT_EQ(summary.heardAllAt[0], 0u);  // never
+}
+
+TEST(RenderTest, HeardMatrixShowsHashesAndDots) {
+  BroadcastSim sim(4);
+  sim.applyTree(makePath(4));
+  const std::string art = renderHeardMatrix(sim);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_NE(art.find("round 1"), std::string::npos);
+}
+
+TEST(RenderTest, SparklineScalesAndHandlesEdgeCases) {
+  EXPECT_EQ(sparkline({}), "");
+  const std::string flat = sparkline({5, 5, 5});
+  EXPECT_FALSE(flat.empty());
+  const std::string ramp = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_NE(ramp.find("▁"), std::string::npos);
+  EXPECT_NE(ramp.find("█"), std::string::npos);
+}
+
+TEST(CsvExportTest, WritesAndEscapes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dynbcast_csv_test.csv")
+          .string();
+  TextTable t({"n", "name"});
+  t.row().add(std::uint64_t{4}).add("a,b");
+  writeCsv(path, t);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "n,name");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,\"a,b\"");
+  in.close();
+  std::filesystem::remove(path);
+}
+
+TEST(CsvExportTest, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "dynbcast_sub";
+  const std::string path = (dir / "deep" / "file.txt").string();
+  writeFile(path, "hello");
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dynbcast

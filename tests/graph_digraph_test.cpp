@@ -1,0 +1,98 @@
+#include "src/graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/dot.h"
+#include "src/support/rng.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  const Digraph g(5);
+  EXPECT_EQ(g.nodeCount(), 5u);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_FALSE(g.hasEdge(0, 1));
+}
+
+TEST(DigraphTest, AddEdgeUpdatesBothDirections) {
+  Digraph g(4);
+  g.addEdge(1, 3);
+  EXPECT_TRUE(g.hasEdge(1, 3));
+  EXPECT_FALSE(g.hasEdge(3, 1));
+  EXPECT_EQ(g.outDegree(1), 1u);
+  EXPECT_EQ(g.inDegree(3), 1u);
+  ASSERT_EQ(g.outNeighbors(1).size(), 1u);
+  EXPECT_EQ(g.outNeighbors(1)[0], 3u);
+  ASSERT_EQ(g.inNeighbors(3).size(), 1u);
+  EXPECT_EQ(g.inNeighbors(3)[0], 1u);
+}
+
+TEST(DigraphTest, DuplicateEdgesIgnored) {
+  Digraph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 1);
+  EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(DigraphTest, NeighborsSortedAscending) {
+  Digraph g(5);
+  g.addEdge(0, 4);
+  g.addEdge(0, 1);
+  g.addEdge(0, 3);
+  const auto& o = g.outNeighbors(0);
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_TRUE(o[0] < o[1] && o[1] < o[2]);
+}
+
+TEST(DigraphTest, MatrixRoundTrip) {
+  Rng rng(99);
+  BitMatrix m(12);
+  for (int e = 0; e < 40; ++e) {
+    m.set(rng.uniform(12), rng.uniform(12));
+  }
+  const Digraph g = Digraph::fromMatrix(m);
+  EXPECT_EQ(g.toMatrix(), m);
+  EXPECT_EQ(g.edgeCount(), m.countOnes());
+}
+
+TEST(DigraphTest, EdgesListsLexicographic) {
+  Digraph g(3);
+  g.addEdge(2, 0);
+  g.addEdge(0, 2);
+  g.addEdge(0, 1);
+  const std::vector<Edge> es = g.edges();
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0], (Edge{0, 1}));
+  EXPECT_EQ(es[1], (Edge{0, 2}));
+  EXPECT_EQ(es[2], (Edge{2, 0}));
+}
+
+TEST(DigraphTest, SelfLoopAllowed) {
+  Digraph g(2);
+  g.addEdge(1, 1);
+  EXPECT_TRUE(g.hasEdge(1, 1));
+  EXPECT_EQ(g.inDegree(1), 1u);
+  EXPECT_EQ(g.outDegree(1), 1u);
+}
+
+TEST(DotExportTest, ContainsNodesAndEdges) {
+  BitMatrix m(3);
+  m.set(0, 1);
+  m.set(1, 1);  // self-loop, hidden by default
+  const std::string dot = toDot(m);
+  EXPECT_NE(dot.find("digraph G"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -> n1"), std::string::npos);
+}
+
+TEST(DotExportTest, SelfLoopsShownWhenRequested) {
+  BitMatrix m(2);
+  m.set(1, 1);
+  DotStyle style;
+  style.hideSelfLoops = false;
+  EXPECT_NE(toDot(m, style).find("n1 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dynbcast

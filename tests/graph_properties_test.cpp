@@ -1,0 +1,113 @@
+#include "src/graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(ReachabilityTest, PathReachesForward) {
+  const BitMatrix g = makePath(4).toMatrix();
+  const DynBitset fromRoot = reachableFrom(g, 0);
+  EXPECT_TRUE(fromRoot.all());
+  const DynBitset fromTail = reachableFrom(g, 3);
+  EXPECT_EQ(fromTail.count(), 1u);
+  EXPECT_TRUE(fromTail.test(3));
+}
+
+TEST(RootedTest, TreesAreRooted) {
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const RootedTree tree = randomRootedTree(2 + rng.uniform(12), rng);
+    const BitMatrix g = tree.toMatrix();
+    EXPECT_TRUE(isRooted(g));
+    EXPECT_EQ(findRoot(g).value(), tree.root());
+  }
+}
+
+TEST(RootedTest, DisconnectedIsNotRooted) {
+  BitMatrix g = BitMatrix::identity(4);  // only self-loops
+  EXPECT_FALSE(isRooted(g));
+  EXPECT_FALSE(findRoot(g).has_value());
+}
+
+TEST(NonsplitTest, FullGraphIsNonsplit) {
+  EXPECT_TRUE(isNonsplit(BitMatrix::full(5)));
+}
+
+TEST(NonsplitTest, IdentityIsNotNonsplitForTwoPlus) {
+  EXPECT_FALSE(isNonsplit(BitMatrix::identity(2)));
+  EXPECT_TRUE(isNonsplit(BitMatrix::identity(1)));
+}
+
+TEST(NonsplitTest, StarWithLoopsIsNonsplit) {
+  // The center has an edge to everyone: it is a universal in-neighbor.
+  const BitMatrix g = makeStar(6, 2).toMatrix();
+  EXPECT_TRUE(isNonsplit(g));
+}
+
+TEST(NonsplitTest, PathWithLoopsIsNotNonsplit) {
+  // Nodes 0 and 3 share no in-neighbor in a directed path.
+  const BitMatrix g = makePath(4).toMatrix();
+  EXPECT_FALSE(isNonsplit(g));
+}
+
+TEST(TreeMembershipTest, AcceptsTreeMatrices) {
+  Rng rng(7);
+  for (int t = 0; t < 30; ++t) {
+    const std::size_t n = 1 + rng.uniform(14);
+    const RootedTree tree = randomRootedTree(n, rng);
+    EXPECT_TRUE(isRootedTreeWithSelfLoops(tree.toMatrix()))
+        << tree.toString();
+  }
+}
+
+TEST(TreeMembershipTest, RejectsMissingSelfLoop) {
+  BitMatrix g = makePath(3).toMatrix();
+  g.reset(1, 1);
+  EXPECT_FALSE(isRootedTreeWithSelfLoops(g));
+}
+
+TEST(TreeMembershipTest, RejectsExtraEdge) {
+  BitMatrix g = makePath(4).toMatrix();
+  g.set(0, 3);  // shortcut edge: node 3 now has in-degree 3
+  EXPECT_FALSE(isRootedTreeWithSelfLoops(g));
+}
+
+TEST(TreeMembershipTest, RejectsTwoRoots) {
+  // Two disjoint paths 0→1 and 2→3 with loops: two in-degree-1 nodes.
+  BitMatrix g = BitMatrix::identity(4);
+  g.set(0, 1);
+  g.set(2, 3);
+  EXPECT_FALSE(isRootedTreeWithSelfLoops(g));
+}
+
+TEST(TreeMembershipTest, RejectsCycle) {
+  BitMatrix g = BitMatrix::identity(3);
+  g.set(0, 1);
+  g.set(1, 2);
+  g.set(2, 0);  // every node in-degree 2: no root
+  EXPECT_FALSE(isRootedTreeWithSelfLoops(g));
+}
+
+TEST(TreeDepthTest, PathDepthIsNMinus1) {
+  EXPECT_EQ(treeDepth(makePath(6).toMatrix()), 5u);
+}
+
+TEST(TreeDepthTest, StarDepthIsOne) {
+  EXPECT_EQ(treeDepth(makeStar(6, 0).toMatrix()), 1u);
+}
+
+TEST(TreeDepthTest, MatchesRootedTreeHeight) {
+  Rng rng(11);
+  for (int t = 0; t < 20; ++t) {
+    const RootedTree tree = randomRootedTree(2 + rng.uniform(10), rng);
+    EXPECT_EQ(treeDepth(tree.toMatrix()), tree.height());
+  }
+}
+
+}  // namespace
+}  // namespace dynbcast

@@ -1,0 +1,245 @@
+#include "src/sim/broadcast_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/properties.h"
+#include "src/support/assert.h"
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(BroadcastSimTest, InitialStateIsIdentity) {
+  BroadcastSim sim(4);
+  EXPECT_EQ(sim.round(), 0u);
+  for (std::size_t y = 0; y < 4; ++y) {
+    EXPECT_EQ(sim.heardBy(y).count(), 1u);
+    EXPECT_TRUE(sim.heardBy(y).test(y));
+  }
+  EXPECT_FALSE(sim.broadcastDone());
+  EXPECT_FALSE(sim.gossipDone());
+}
+
+TEST(BroadcastSimTest, SingleProcessIsInstantlyDone) {
+  BroadcastSim sim(1);
+  EXPECT_TRUE(sim.broadcastDone());
+  EXPECT_TRUE(sim.gossipDone());
+}
+
+TEST(BroadcastSimTest, OneStarRoundBroadcasts) {
+  BroadcastSim sim(6);
+  sim.applyTree(makeStar(6, 2));
+  EXPECT_TRUE(sim.broadcastDone());
+  const DynBitset bc = sim.broadcasters();
+  EXPECT_EQ(bc.count(), 1u);
+  EXPECT_TRUE(bc.test(2));
+}
+
+TEST(BroadcastSimTest, StaticPathTakesNMinus1Rounds) {
+  // Paper §2: repeating a path gives broadcast time exactly n−1.
+  for (const std::size_t n : {2u, 3u, 5u, 17u, 50u}) {
+    BroadcastSim sim(n);
+    const RootedTree path = makePath(n);
+    while (!sim.broadcastDone()) {
+      ASSERT_LE(sim.round(), n) << "static path exceeded n rounds";
+      sim.applyTree(path);
+    }
+    EXPECT_EQ(sim.round(), n - 1) << "n=" << n;
+  }
+}
+
+TEST(BroadcastSimTest, StaticTreeTakesHeightRounds) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform(20);
+    const RootedTree tree = randomRootedTree(n, rng);
+    BroadcastSim sim(n);
+    while (!sim.broadcastDone()) {
+      ASSERT_LE(sim.round(), n);
+      sim.applyTree(tree);
+    }
+    EXPECT_EQ(sim.round(), tree.height()) << tree.toString();
+  }
+}
+
+TEST(BroadcastSimTest, HeardSetsAreMonotone) {
+  Rng rng(3);
+  BroadcastSim sim(12);
+  std::vector<DynBitset> prev;
+  for (std::size_t y = 0; y < 12; ++y) prev.push_back(sim.heardBy(y));
+  for (int r = 0; r < 30; ++r) {
+    sim.applyTree(randomRootedTree(12, rng));
+    for (std::size_t y = 0; y < 12; ++y) {
+      EXPECT_TRUE(sim.heardBy(y).isSupersetOf(prev[y]));
+      prev[y] = sim.heardBy(y);
+    }
+  }
+}
+
+TEST(BroadcastSimTest, AtLeastOneNewEdgePerRoundUntilGossip) {
+  // §2's trivial-progress argument: the product gains ≥ 1 edge per round
+  // as long as some heard set is incomplete.
+  Rng rng(7);
+  BroadcastSim sim(9);
+  std::size_t prevEdges = sim.metrics().totalEdges;
+  while (!sim.gossipDone()) {
+    sim.applyTree(randomRootedTree(9, rng));
+    const std::size_t edges = sim.metrics().totalEdges;
+    EXPECT_GT(edges, prevEdges);
+    prevEdges = edges;
+    ASSERT_LT(sim.round(), 200u);
+  }
+}
+
+TEST(BroadcastSimTest, ReachMatrixIsTransposeOfHeard) {
+  Rng rng(19);
+  BroadcastSim sim(8);
+  for (int r = 0; r < 5; ++r) sim.applyTree(randomRootedTree(8, rng));
+  const BitMatrix reach = sim.reachMatrix();
+  for (std::size_t x = 0; x < 8; ++x) {
+    for (std::size_t y = 0; y < 8; ++y) {
+      EXPECT_EQ(reach.get(x, y), sim.heardBy(y).test(x));
+    }
+  }
+}
+
+TEST(BroadcastSimTest, ReachMatrixEqualsExplicitProduct) {
+  // The simulator must compute exactly G(t) = G_1 ∘ … ∘ G_t (Def. 2.1).
+  Rng rng(23);
+  const std::size_t n = 7;
+  BroadcastSim sim(n);
+  BitMatrix product = BitMatrix::identity(n);
+  for (int r = 0; r < 12; ++r) {
+    const RootedTree t = randomRootedTree(n, rng);
+    sim.applyTree(t);
+    product = product.product(t.toMatrix());
+    EXPECT_EQ(sim.reachMatrix(), product) << "round " << r + 1;
+  }
+}
+
+TEST(BroadcastSimTest, ApplyGraphMatchesApplyTree) {
+  Rng rng(29);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.uniform(10);
+    const RootedTree t = randomRootedTree(n, rng);
+    BroadcastSim a(n), b(n);
+    a.applyTree(t);
+    b.applyGraph(t.toMatrix());
+    for (std::size_t y = 0; y < n; ++y) {
+      EXPECT_EQ(a.heardBy(y), b.heardBy(y));
+    }
+  }
+}
+
+TEST(BroadcastSimTest, ApplyGraphRejectsMissingSelfLoops) {
+  BroadcastSim sim(3);
+  BitMatrix g(3);  // no self-loops
+  g.set(0, 1);
+  EXPECT_THROW(sim.applyGraph(g), AssertionError);
+}
+
+TEST(BroadcastSimTest, ResetRestoresIdentity) {
+  Rng rng(31);
+  BroadcastSim sim(6);
+  sim.applyTree(randomRootedTree(6, rng));
+  sim.reset();
+  EXPECT_EQ(sim.round(), 0u);
+  for (std::size_t y = 0; y < 6; ++y) {
+    EXPECT_EQ(sim.heardBy(y).count(), 1u);
+  }
+}
+
+TEST(BroadcastSimTest, SizeMismatchThrows) {
+  BroadcastSim sim(5);
+  EXPECT_THROW(sim.applyTree(makePath(4)), AssertionError);
+}
+
+TEST(BroadcastSimTest, FromHeardResumesState) {
+  Rng rng(61);
+  BroadcastSim original(7);
+  for (int r = 0; r < 4; ++r) original.applyTree(randomRootedTree(7, rng));
+  BroadcastSim resumed = BroadcastSim::fromHeard(
+      std::vector<DynBitset>(original.heardMatrix()), original.round());
+  EXPECT_EQ(resumed.round(), original.round());
+  // Applying the same tree to both keeps them identical.
+  const RootedTree t = randomRootedTree(7, rng);
+  original.applyTree(t);
+  resumed.applyTree(t);
+  for (std::size_t y = 0; y < 7; ++y) {
+    EXPECT_EQ(resumed.heardBy(y), original.heardBy(y));
+  }
+}
+
+TEST(BroadcastSimTest, FromHeardRejectsMissingSelfBit) {
+  std::vector<DynBitset> heard(3, DynBitset(3));
+  heard[0].set(0);
+  heard[1].set(1);
+  // heard[2] missing its own bit.
+  EXPECT_THROW(BroadcastSim::fromHeard(std::move(heard)), AssertionError);
+}
+
+TEST(RunnersTest, RunBroadcastCompletesOnRandomTrees) {
+  Rng rng(41);
+  const BroadcastRun run = runBroadcast(
+      10,
+      [&rng](const BroadcastSim&) { return randomRootedTree(10, rng); },
+      1000);
+  EXPECT_TRUE(run.completed);
+  EXPECT_GT(run.rounds, 0u);
+}
+
+TEST(RunnersTest, RunBroadcastHonorsCap) {
+  // An adversary that starves one branch: identity path forever takes
+  // exactly n−1, so a cap of 3 must report incomplete for n = 10.
+  const BroadcastRun run = runBroadcast(
+      10, [](const BroadcastSim&) { return makePath(10); }, 3);
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(run.rounds, 3u);
+}
+
+TEST(RunnersTest, HistoryRecordedWhenRequested) {
+  const BroadcastRun run = runBroadcast(
+      5, [](const BroadcastSim&) { return makePath(5); }, 100, true);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.history.size(), run.rounds);
+  // Metrics rounds are 1-based and increasing.
+  for (std::size_t i = 0; i < run.history.size(); ++i) {
+    EXPECT_EQ(run.history[i].round, i + 1);
+  }
+}
+
+TEST(RunnersTest, GossipTakesAtLeastBroadcast) {
+  Rng rng(43);
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng r1 = rng.split();
+    Rng r2 = r1;  // identical tree sequences for both runs
+    const std::size_t n = 4 + rng.uniform(8);
+    const BroadcastRun b = runBroadcast(
+        n, [&r1, n](const BroadcastSim&) { return randomRootedTree(n, r1); },
+        5000);
+    const BroadcastRun g = runGossip(
+        n, [&r2, n](const BroadcastSim&) { return randomRootedTree(n, r2); },
+        5000);
+    ASSERT_TRUE(b.completed);
+    ASSERT_TRUE(g.completed);
+    EXPECT_GE(g.rounds, b.rounds);
+  }
+}
+
+class StaticPathSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StaticPathSweep, ExactlyNMinus1) {
+  const std::size_t n = GetParam();
+  const BroadcastRun run = runBroadcast(
+      n, [n](const BroadcastSim&) { return makePath(n); }, n + 2);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.rounds, n - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StaticPathSweep,
+                         ::testing::Values(2, 3, 4, 8, 16, 33, 64, 128, 257));
+
+}  // namespace
+}  // namespace dynbcast

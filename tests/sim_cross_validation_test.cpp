@@ -1,0 +1,99 @@
+// Integration: the bitset simulator (BroadcastSim) and the message-passing
+// simulator (ProcessSim) are independent implementations of Definitions
+// 2.1–2.3 and must agree exactly, round by round, on any tree sequence.
+#include <gtest/gtest.h>
+
+#include "src/sim/broadcast_sim.h"
+#include "src/sim/process_sim.h"
+#include "src/support/rng.h"
+#include "src/tree/constrained.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+void expectAgreement(const BroadcastSim& fast, const ProcessSim& slow) {
+  const std::size_t n = fast.processCount();
+  ASSERT_EQ(slow.processCount(), n);
+  for (std::size_t y = 0; y < n; ++y) {
+    const auto& knowledge = slow.process(y).knowledge;
+    EXPECT_EQ(fast.heardBy(y).count(), knowledge.size()) << "y=" << y;
+    for (const std::size_t x : knowledge) {
+      EXPECT_TRUE(fast.heardBy(y).test(x)) << "x=" << x << " y=" << y;
+    }
+  }
+  EXPECT_EQ(fast.broadcastDone(), slow.broadcastDone());
+  EXPECT_EQ(fast.gossipDone(), slow.gossipDone());
+}
+
+class CrossValidationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrossValidationTest, AgreeOnUniformRandomTrees) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 17 + 3);
+  BroadcastSim fast(n);
+  ProcessSim slow(n);
+  for (int r = 0; r < 40; ++r) {
+    const RootedTree t = randomRootedTree(n, rng);
+    fast.applyTree(t);
+    slow.applyTree(t);
+    expectAgreement(fast, slow);
+  }
+}
+
+TEST_P(CrossValidationTest, AgreeOnRandomPaths) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 29 + 1);
+  BroadcastSim fast(n);
+  ProcessSim slow(n);
+  for (int r = 0; r < 30; ++r) {
+    const RootedTree t = randomPath(n, rng);
+    fast.applyTree(t);
+    slow.applyTree(t);
+    expectAgreement(fast, slow);
+  }
+}
+
+TEST_P(CrossValidationTest, AgreeOnConstrainedTrees) {
+  const std::size_t n = GetParam();
+  if (n < 3) GTEST_SKIP() << "constrained generators need n >= 3";
+  Rng rng(n * 31 + 7);
+  BroadcastSim fast(n);
+  ProcessSim slow(n);
+  for (int r = 0; r < 20; ++r) {
+    const std::size_t k = 1 + rng.uniform(n - 1);
+    const RootedTree t = r % 2 == 0 ? randomTreeWithKLeaves(n, k, rng)
+                                    : randomTreeWithKInnerNodes(n, k, rng);
+    fast.applyTree(t);
+    slow.applyTree(t);
+    expectAgreement(fast, slow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrossValidationTest,
+                         ::testing::Values(2, 3, 4, 5, 8, 13, 21, 32));
+
+TEST(CrossValidationTest, SameBroadcastRoundOnIdenticalSequences) {
+  // Both sims must report t* at the same round for the same sequence.
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.uniform(10);
+    BroadcastSim fast(n);
+    ProcessSim slow(n);
+    std::size_t fastDone = 0, slowDone = 0;
+    for (std::size_t r = 1; r <= 10 * n; ++r) {
+      const RootedTree t = randomRootedTree(n, rng);
+      fast.applyTree(t);
+      slow.applyTree(t);
+      if (fastDone == 0 && fast.broadcastDone()) fastDone = r;
+      if (slowDone == 0 && slow.broadcastDone()) slowDone = r;
+      if (fastDone != 0 && slowDone != 0) break;
+    }
+    EXPECT_EQ(fastDone, slowDone);
+    EXPECT_NE(fastDone, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dynbcast

@@ -1,0 +1,86 @@
+#include "src/sim/gossip.h"
+
+#include <gtest/gtest.h>
+
+#include "src/adversary/adaptive.h"
+#include "src/adversary/oblivious.h"
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(GossipTest, SingleProcessInstant) {
+  const GossipComparison cmp = runGossipComparison(
+      1, [](const BroadcastSim&) { return RootedTree::trivial(); }, 10);
+  EXPECT_TRUE(cmp.gossipCompleted);
+  EXPECT_EQ(cmp.gossipRounds, 0u);
+}
+
+TEST(GossipTest, PingPongCompletesInTwoNMinusTwo) {
+  // Alternating forward/backward paths: node i's interval grows one step
+  // per direction per two rounds; the middle completes at 2(n−1)−... the
+  // exact value for the identity ping-pong is 2n−3 for odd splits; we
+  // assert the Θ(n) window rather than one closed form.
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    AlternatingPathAdversary adv(n);
+    const GossipComparison cmp = runGossipComparison(
+        n, [&adv](const BroadcastSim& s) { return adv.nextTree(s); },
+        4 * n);
+    ASSERT_TRUE(cmp.gossipCompleted) << "n=" << n;
+    EXPECT_GE(cmp.gossipRounds, 2 * (n - 1) - 2) << "n=" << n;
+    EXPECT_LE(cmp.gossipRounds, 2 * n) << "n=" << n;
+    EXPECT_LE(cmp.broadcastRounds, cmp.gossipRounds);
+  }
+}
+
+TEST(GossipTest, StaticTreeNeverCompletes) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.uniform(10);
+    const RootedTree tree = randomRootedTree(n, rng);
+    const GossipComparison cmp = runGossipComparison(
+        n, [&tree](const BroadcastSim&) { return tree; }, 5 * n);
+    EXPECT_FALSE(cmp.gossipCompleted) << tree.toString();
+    EXPECT_TRUE(cmp.broadcastCompleted);
+  }
+}
+
+TEST(GossipTest, RandomSequencesComplete) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + rng.uniform(12);
+    Rng seq = rng.split();
+    const GossipComparison cmp = runGossipComparison(
+        n,
+        [&seq, n](const BroadcastSim&) { return randomRootedTree(n, seq); },
+        50 * n + 100);
+    EXPECT_TRUE(cmp.gossipCompleted) << "n=" << n;
+    EXPECT_GE(cmp.gossipRounds, cmp.broadcastRounds);
+  }
+}
+
+TEST(GossipTest, BroadcastRoundRecordedEnRoute) {
+  // The comparison must report the broadcast round observed mid-run, not
+  // the gossip round.
+  const std::size_t n = 6;
+  AlternatingPathAdversary adv(n);
+  const GossipComparison cmp = runGossipComparison(
+      n, [&adv](const BroadcastSim& s) { return adv.nextTree(s); }, 4 * n);
+  ASSERT_TRUE(cmp.gossipCompleted);
+  ASSERT_TRUE(cmp.broadcastCompleted);
+  EXPECT_LT(cmp.broadcastRounds, cmp.gossipRounds);
+}
+
+TEST(GossipTest, GreedyAdversaryStallsGossipAtSmallN) {
+  GreedyDelayAdversary adv(6, 9);
+  adv.reset();
+  const GossipComparison cmp = runGossipComparison(
+      6, [&adv](const BroadcastSim& s) { return adv.nextTree(s); }, 200);
+  EXPECT_TRUE(cmp.broadcastCompleted);
+  EXPECT_FALSE(cmp.gossipCompleted);
+}
+
+}  // namespace
+}  // namespace dynbcast

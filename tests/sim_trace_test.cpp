@@ -1,0 +1,78 @@
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/assert.h"
+#include "src/support/rng.h"
+#include "src/tree/families.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(TraceTest, RecordAccumulatesRounds) {
+  SimTrace trace(4, 99);
+  BroadcastSim sim(4);
+  sim.applyTree(makePath(4));
+  trace.record(makePath(4), sim.metrics());
+  EXPECT_EQ(trace.roundCount(), 1u);
+  EXPECT_EQ(trace.processCount(), 4u);
+  EXPECT_EQ(trace.seed(), 99u);
+}
+
+TEST(TraceTest, ReplayVerifiesCleanly) {
+  Rng rng(7);
+  bool completed = false;
+  const SimTrace trace = recordBroadcastTrace(
+      8, [&rng](const BroadcastSim&) { return randomRootedTree(8, rng); },
+      500, 7, &completed);
+  ASSERT_TRUE(completed);
+  const std::size_t replayedTStar = trace.replayAndVerify();
+  EXPECT_EQ(replayedTStar, trace.roundCount());
+}
+
+TEST(TraceTest, ReplayDetectsTampering) {
+  Rng rng(13);
+  const std::size_t n = 6;
+  BroadcastSim sim(n);
+  SimTrace trace(n);
+  const RootedTree t1 = randomRootedTree(n, rng);
+  sim.applyTree(t1);
+  RoundMetrics wrong = sim.metrics();
+  wrong.totalEdges += 1;  // corrupt the recording
+  trace.record(t1, wrong);
+  EXPECT_THROW(trace.replayAndVerify(), AssertionError);
+}
+
+TEST(TraceTest, CsvHasHeaderAndRows) {
+  Rng rng(17);
+  const SimTrace trace = recordBroadcastTrace(
+      5, [&rng](const BroadcastSim&) { return randomRootedTree(5, rng); },
+      200);
+  const std::string csv = trace.toCsv();
+  EXPECT_NE(csv.find("round,total_edges"), std::string::npos);
+  // Header + one line per round.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+  EXPECT_EQ(lines, trace.roundCount() + 1);
+}
+
+TEST(TraceTest, RecordRejectsWrongSize) {
+  SimTrace trace(4);
+  BroadcastSim sim(5);
+  sim.applyTree(makePath(5));
+  EXPECT_THROW(trace.record(makePath(5), sim.metrics()), AssertionError);
+}
+
+TEST(TraceTest, StaticPathTraceHasExpectedLength) {
+  bool completed = false;
+  const SimTrace trace = recordBroadcastTrace(
+      9, [](const BroadcastSim&) { return makePath(9); }, 100, 0,
+      &completed);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(trace.roundCount(), 8u);
+  EXPECT_EQ(trace.replayAndVerify(), 8u);
+}
+
+}  // namespace
+}  // namespace dynbcast

@@ -1,0 +1,138 @@
+#include "src/support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace dynbcast {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBound1IsAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntHitsEndpoints) {
+  Rng rng(5);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(77);
+  for (const std::size_t n : {1u, 2u, 5u, 100u}) {
+    std::vector<std::size_t> p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(RngTest, PermutationsVary) {
+  Rng rng(123);
+  const std::vector<std::size_t> a = rng.permutation(20);
+  const std::vector<std::size_t> b = rng.permutation(20);
+  EXPECT_NE(a, b);  // probability of collision ~ 1/20!
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(55);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng fresh(55);
+  (void)fresh.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == fresh()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, SplitmixAvalanche) {
+  std::uint64_t s1 = 0, s2 = 1;
+  const std::uint64_t a = splitmix64(s1);
+  const std::uint64_t b = splitmix64(s2);
+  EXPECT_NE(a, b);
+}
+
+class RngDistributionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDistributionTest, BoundedUniformIsRoughlyFlat) {
+  const std::uint64_t bound = GetParam();
+  Rng rng(bound * 31 + 7);
+  std::vector<std::size_t> buckets(bound, 0);
+  const std::size_t draws = 2000 * bound;
+  for (std::size_t i = 0; i < draws; ++i) ++buckets[rng.uniform(bound)];
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    // Expected 2000 per bucket; allow generous slack (±25%).
+    EXPECT_GT(buckets[v], 1500u) << "value " << v;
+    EXPECT_LT(buckets[v], 2500u) << "value " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngDistributionTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace dynbcast

@@ -1,0 +1,96 @@
+#include "src/tree/constrained.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+namespace {
+
+// Parameterized over (n, k) pairs for the leaf-constrained generator.
+class KLeafTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(KLeafTest, ProducesExactlyKLeaves) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RootedTree t = randomTreeWithKLeaves(n, k, rng);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_EQ(t.leafCount(), k) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KLeafTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(3, 1),
+                      std::make_tuple(3, 2), std::make_tuple(8, 1),
+                      std::make_tuple(8, 3), std::make_tuple(8, 7),
+                      std::make_tuple(20, 2), std::make_tuple(20, 10),
+                      std::make_tuple(20, 19), std::make_tuple(64, 4)));
+
+class KInnerTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(KInnerTest, ProducesExactlyKInnerNodes) {
+  const auto [n, k] = GetParam();
+  Rng rng(n * 1000 + k + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    const RootedTree t = randomTreeWithKInnerNodes(n, k, rng);
+    EXPECT_EQ(t.size(), n);
+    EXPECT_EQ(t.innerCount(), k) << "n=" << n << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KInnerTest,
+    ::testing::Values(std::make_tuple(2, 1), std::make_tuple(3, 1),
+                      std::make_tuple(3, 2), std::make_tuple(8, 1),
+                      std::make_tuple(8, 4), std::make_tuple(8, 7),
+                      std::make_tuple(20, 3), std::make_tuple(20, 10),
+                      std::make_tuple(20, 19), std::make_tuple(64, 6)));
+
+TEST(ConstrainedTest, PlacementRespectsOrder) {
+  Rng rng(9);
+  const std::vector<std::size_t> order{4, 2, 0, 1, 3};
+  const RootedTree t = makeTreeWithKLeaves(order, 2, rng);
+  EXPECT_EQ(t.root(), 4u);  // order[0] becomes the root
+  EXPECT_EQ(t.leafCount(), 2u);
+}
+
+TEST(ConstrainedTest, KLeafExtremes) {
+  Rng rng(1);
+  // k = n−1 forces a star; k = 1 forces a path.
+  const RootedTree star = randomTreeWithKLeaves(10, 9, rng);
+  EXPECT_EQ(star.height(), 1u);
+  const RootedTree path = randomTreeWithKLeaves(10, 1, rng);
+  EXPECT_EQ(path.height(), 9u);
+}
+
+TEST(ConstrainedTest, KInnerOneIsStar) {
+  Rng rng(2);
+  const RootedTree t = randomTreeWithKInnerNodes(12, 1, rng);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_EQ(t.leafCount(), 11u);
+}
+
+TEST(ConstrainedTest, RejectsOutOfRangeK) {
+  Rng rng(3);
+  EXPECT_THROW(randomTreeWithKLeaves(5, 0, rng), AssertionError);
+  EXPECT_THROW(randomTreeWithKLeaves(5, 5, rng), AssertionError);
+  EXPECT_THROW(randomTreeWithKInnerNodes(5, 0, rng), AssertionError);
+  EXPECT_THROW(randomTreeWithKInnerNodes(5, 5, rng), AssertionError);
+}
+
+TEST(ConstrainedTest, GeneratorsAreDeterministicPerSeed) {
+  Rng a(77), b(77);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(randomTreeWithKLeaves(15, 4, a),
+              randomTreeWithKLeaves(15, 4, b));
+  }
+}
+
+}  // namespace
+}  // namespace dynbcast
