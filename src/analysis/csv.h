@@ -1,4 +1,11 @@
 // CSV/file export helpers for benches and examples.
+//
+// Every sweep bench that regenerates a paper figure can persist its
+// TextTable as CSV (one header row, comma-separated cells, quoted only
+// when needed), so the same run that prints a terminal table also leaves
+// a plottable artifact. writeFile() is the single filesystem touchpoint
+// of the library — it creates parent directories and fails loudly, which
+// keeps experiment scripts honest about where their data went.
 #pragma once
 
 #include <string>

@@ -1,5 +1,13 @@
 // ASCII rendering of heard-of matrices and round series — the debug/
 // teaching view of the paper's matrix-evolution perspective.
+//
+// The proof of Theorem 3.1 is a story about a boolean matrix filling up;
+// renderHeardMatrix() draws exactly that matrix (row y = Heard(y)) so a
+// run can be watched round by round in a terminal, and sparkline() gives
+// a one-line shape of any per-round series (potential Φ, blocked pairs,
+// coverage). examples/matrix_evolution.cpp is the intended consumer.
+// Output is plain ASCII plus unicode block glyphs — no terminal control
+// codes, so it is safe to pipe into logs and test assertions.
 #pragma once
 
 #include <string>

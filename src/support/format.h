@@ -1,4 +1,11 @@
 // Small string formatting helpers shared by tables, traces, and benches.
+//
+// These are the lowest-level pieces of the repo's uniform output story:
+// TextTable cells, trace summaries, and bench headers all render numbers
+// through fmtDouble/fmtCount so that every table in every binary uses the
+// same fixed-point and thousands-separator conventions (and tests can
+// assert on exact strings). Kept free of <iostream> and locale state —
+// formatting is pure string-in/string-out.
 #pragma once
 
 #include <string>

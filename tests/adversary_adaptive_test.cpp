@@ -28,7 +28,9 @@ TEST(CoverageTest, StarMakesCenterFullCoverage) {
   const auto cov = coverageCounts(sim);
   EXPECT_EQ(cov[2], 6u);
   for (std::size_t x = 0; x < 6; ++x) {
-    if (x != 2) EXPECT_EQ(cov[x], 1u);
+    if (x != 2) {
+      EXPECT_EQ(cov[x], 1u);
+    }
   }
 }
 
@@ -72,7 +74,9 @@ TEST(FreezeOrderingTest, NonKnowersPrecedeKnowers) {
   for (const std::size_t y : order) {
     const bool knows = sim.heardBy(y).test(leader);
     if (knows) seenKnower = true;
-    if (seenKnower) EXPECT_TRUE(knows) << "non-knower after knower block";
+    if (seenKnower) {
+      EXPECT_TRUE(knows) << "non-knower after knower block";
+    }
   }
 }
 

@@ -40,7 +40,7 @@ TEST(OptionsTest, BoolSpellings) {
   EXPECT_TRUE(parse({"--x=1"}).getBool("x", false));
   EXPECT_FALSE(parse({"--x=false"}).getBool("x", true));
   EXPECT_FALSE(parse({"--x=0"}).getBool("x", true));
-  EXPECT_THROW(parse({"--x=maybe"}).getBool("x", true),
+  EXPECT_THROW(static_cast<void>(parse({"--x=maybe"}).getBool("x", true)),
                std::invalid_argument);
 }
 
