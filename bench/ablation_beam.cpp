@@ -9,20 +9,23 @@
 // diversity lets the potential-elite corridor (≈ static path, value n−1)
 // take over the beam.
 //
-// Usage: ablation_beam [--sizes=8,12,16] [--seed=7] [--beam=128]
+// Each (n, variant) search is one engine task; every variant of a given
+// n shares that size's derived seed, so the comparison stays head-to-head
+// at any --jobs value.
+//
+// Usage: ablation_beam [--sizes=8,12,16] [--seed=7] [--beam=128] [--jobs=N]
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/adversary/beam.h"
 #include "src/bounds/bounds.h"
-#include "src/support/options.h"
+#include "src/support/seed_sequence.h"
 #include "src/support/table.h"
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "8,12,16"));
-  const std::uint64_t seed = opts.getUInt("seed", 7);
-  const std::size_t beamWidth = opts.getUInt("beam", 128);
+  BenchDriver driver(argc, argv, "8,12,16", 7);
+  const std::size_t beamWidth = driver.options().getUInt("beam", 128);
 
   struct Variant {
     const char* name;
@@ -48,26 +51,44 @@ int main(int argc, char** argv) {
       {"no weight noise", noNoise},
       {"no diversity slots", noDiversity},
   };
+  const std::size_t variantCount = std::size(variants);
 
-  std::cout << "ABLATION — beam witness search ingredients (seed=" << seed
-            << ", beam=" << beamWidth << ")\n\n";
+  driver.printHeader("ABLATION — beam witness search ingredients (beam=" +
+                     std::to_string(beamWidth) + ")");
+
+  struct Row {
+    std::size_t rounds = 0;
+    std::size_t verified = 0;
+  };
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const SeedSequence perSize(driver.seed());
+  const auto rows = driver.engine().map<Row>(
+      sizes.size() * variantCount, driver.seed(),
+      [&](std::size_t i, std::uint64_t) {
+        const std::size_t s = i / variantCount;
+        const std::size_t v = i % variantCount;
+        // All variants of one n share the size's seed (fair comparison).
+        const BeamResult r =
+            beamSearchWitness(sizes[s], perSize.at(s), variants[v].config);
+        return Row{r.rounds, verifyWitness(sizes[s], r.witness)};
+      });
 
   TextTable table({"n", "variant", "witness t*", "verified", "static n-1",
                    "lower bound"});
-  for (const std::size_t n : sizes) {
-    for (const Variant& v : variants) {
-      const BeamResult r = beamSearchWitness(n, seed, v.config);
-      const std::size_t verified = verifyWitness(n, r.witness);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const std::size_t n = sizes[s];
+    for (std::size_t v = 0; v < variantCount; ++v) {
+      const Row& r = rows[s * variantCount + v];
       table.row()
           .add(static_cast<std::uint64_t>(n))
-          .add(v.name)
+          .add(variants[v].name)
           .add(static_cast<std::uint64_t>(r.rounds))
-          .add(verified == r.rounds ? "yes" : "MISMATCH")
+          .add(r.verified == r.rounds ? "yes" : "MISMATCH")
           .add(static_cast<std::uint64_t>(n - 1))
           .add(bounds::lowerBound(n));
     }
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
   std::cout << "reading: structured damage-greedy moves are decisive — "
                "without them the beam cannot even reach the static "
                "baseline; weight noise adds 1-2 further rounds of delay; "

@@ -6,20 +6,20 @@
 //             k leaves:  O(kn)
 //             k inner:   O(kn)
 //
+// Pure closed forms — nothing to parallelize — but the CLI surface
+// (--sizes/--csv) is the shared bench driver's.
+//
 // Usage: fig1_bounds_table [--sizes=8:4096:2] [--ks=2,4,8] [--csv=path]
-#include <cstdio>
 #include <iostream>
 
-#include "src/analysis/csv.h"
+#include "bench/driver.h"
 #include "src/bounds/bounds.h"
-#include "src/support/options.h"
 #include "src/support/table.h"
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "8:4096:2"));
-  const auto ks = parseSizeList(opts.getString("ks", "2,4,8"));
+  BenchDriver driver(argc, argv, "8:4096:2", 1);
+  const auto ks = parseSizeList(driver.options().getString("ks", "2,4,8"));
 
   std::cout << "FIG1 — upper-bound landscape (paper Figure 1)\n"
             << "columns: trivial n^2 | (n-1)ceil(log2 n) [14 via 1+2] | "
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
 
   TextTable table({"n", "trivial n^2", "n log n", "2n loglog n + O(n)",
                    "(1+sqrt2)n (new)", "lower bound"});
-  for (const std::size_t n : sizes) {
+  for (const std::size_t n : driver.sizes()) {
     table.row()
         .add(static_cast<std::uint64_t>(n))
         .add(bounds::trivialUpper(n))
@@ -37,11 +37,11 @@ int main(int argc, char** argv) {
         .add(bounds::linearUpper(n))
         .add(bounds::lowerBound(n));
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
 
   std::cout << "restricted adversaries [14] (O(kn), evaluated as k*n):\n";
   TextTable restricted({"n", "k", "k-leaf bound", "k-inner bound"});
-  for (const std::size_t n : sizes) {
+  for (const std::size_t n : driver.sizes()) {
     for (const std::size_t k : ks) {
       if (k >= n) continue;
       restricted.row()
@@ -55,10 +55,5 @@ int main(int argc, char** argv) {
 
   std::cout << "crossover check: the new linear bound beats [9] for all "
                "printed n, and beats n log n everywhere above n = 8.\n";
-
-  if (opts.has("csv")) {
-    writeCsv(opts.getString("csv", "fig1.csv"), table);
-    std::cout << "wrote CSV to " << opts.getString("csv", "fig1.csv") << '\n';
-  }
   return 0;
 }

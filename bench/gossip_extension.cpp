@@ -4,13 +4,15 @@
 //   * no static tree ever completes gossip (leaf ids never propagate);
 //   * dynamic sequences complete gossip in Θ(n).
 //
-// Usage: gossip_extension [--sizes=4:256:2] [--seed=1]
+// One engine task per size runs all four scenarios for that n.
+//
+// Usage: gossip_extension [--sizes=4:256:2] [--seed=1] [--jobs=N] [--csv=path]
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/adversary/adaptive.h"
 #include "src/adversary/oblivious.h"
 #include "src/sim/gossip.h"
-#include "src/support/options.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
 #include "src/tree/families.h"
@@ -18,51 +20,67 @@
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "4:256:2"));
-  const std::uint64_t seed = opts.getUInt("seed", 1);
+  BenchDriver driver(argc, argv, "4:256:2", 1);
 
-  std::cout << "SEC5 — gossip (all-to-all) under dynamic rooted trees "
-               "(seed=" << seed << ")\n\n";
+  driver.printHeader(
+      "SEC5 — gossip (all-to-all) under dynamic rooted trees");
+
+  struct Row {
+    GossipComparison random, alternating, greedy, staticPath;
+  };
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const auto rows = driver.engine().map<Row>(
+      sizes.size(), driver.seed(),
+      [&](std::size_t i, std::uint64_t taskSeed) {
+        const std::size_t n = sizes[i];
+        const std::size_t cap = 10 * n + 50;
+        Row row;
+
+        Rng rng(taskSeed);
+        row.random = runGossipComparison(
+            n,
+            [&rng, n](const BroadcastSim&) {
+              return randomRootedTree(n, rng);
+            },
+            cap);
+
+        AlternatingPathAdversary alt(n);
+        row.alternating = runGossipComparison(
+            n, [&alt](const BroadcastSim& s) { return alt.nextTree(s); },
+            cap);
+
+        GreedyDelayAdversary greedy(n, taskSeed ^ 0x60551bull);
+        row.greedy = runGossipComparison(
+            n,
+            [&greedy](const BroadcastSim& s) { return greedy.nextTree(s); },
+            cap);
+
+        // Static path: gossip can never complete; cap at 3n to demonstrate.
+        row.staticPath = runGossipComparison(
+            n, [n](const BroadcastSim&) { return makePath(n); }, 3 * n);
+        return row;
+      });
 
   TextTable table({"n", "random: broadcast", "random: gossip",
                    "alternating: gossip", "greedy-delay: gossip",
                    "static path: gossip", "gossip/n"});
-  for (const std::size_t n : sizes) {
-    const std::size_t cap = 10 * n + 50;
-
-    Rng rng(seed + n);
-    const GossipComparison rnd = runGossipComparison(
-        n,
-        [&rng, n](const BroadcastSim&) { return randomRootedTree(n, rng); },
-        cap);
-
-    AlternatingPathAdversary alt(n);
-    const GossipComparison altCmp = runGossipComparison(
-        n, [&alt](const BroadcastSim& s) { return alt.nextTree(s); }, cap);
-
-    GreedyDelayAdversary greedy(n, seed);
-    const GossipComparison greedyCmp = runGossipComparison(
-        n, [&greedy](const BroadcastSim& s) { return greedy.nextTree(s); },
-        cap);
-
-    // Static path: gossip can never complete; cap at 3n to demonstrate.
-    const GossipComparison staticCmp = runGossipComparison(
-        n, [n](const BroadcastSim&) { return makePath(n); }, 3 * n);
-
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const Row& row = rows[i];
     table.row()
         .add(static_cast<std::uint64_t>(n))
-        .add(static_cast<std::uint64_t>(rnd.broadcastRounds))
-        .add(static_cast<std::uint64_t>(rnd.gossipRounds))
-        .add(static_cast<std::uint64_t>(altCmp.gossipRounds))
-        .add(greedyCmp.gossipCompleted
-                 ? std::to_string(greedyCmp.gossipRounds)
+        .add(static_cast<std::uint64_t>(row.random.broadcastRounds))
+        .add(static_cast<std::uint64_t>(row.random.gossipRounds))
+        .add(static_cast<std::uint64_t>(row.alternating.gossipRounds))
+        .add(row.greedy.gossipCompleted
+                 ? std::to_string(row.greedy.gossipRounds)
                  : "never (stalled)")
-        .add(staticCmp.gossipCompleted ? "completed (bug!)" : "never")
-        .add(static_cast<double>(rnd.gossipRounds) / static_cast<double>(n),
+        .add(row.staticPath.gossipCompleted ? "completed (bug!)" : "never")
+        .add(static_cast<double>(row.random.gossipRounds) /
+                 static_cast<double>(n),
              3);
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
   std::cout << "reading: gossip >= broadcast column-wise; static trees "
                "never finish gossip (leaf ids cannot propagate), and an "
                "ADAPTIVE delaying adversary prevents gossip forever — the "

@@ -3,13 +3,17 @@
 //   (b) the product of n−1 rooted trees is nonsplit [1], and random
 //       sequences usually get there much earlier.
 //
+// One engine task per size computes both parts for that n; trials inside
+// a task draw from its position-derived Rng.
+//
 // Usage: nonsplit_reduction [--sizes=8:2048:2] [--seed=1] [--trials=10]
+//                           [--jobs=N] [--csv=path]
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/bounds/bounds.h"
 #include "src/nonsplit/nonsplit.h"
 #include "src/nonsplit/reduction.h"
-#include "src/support/options.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
 #include "src/tree/families.h"
@@ -17,63 +21,84 @@
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "8:2048:2"));
-  const std::uint64_t seed = opts.getUInt("seed", 1);
-  const std::size_t trials = opts.getUInt("trials", 10);
-  Rng rng(seed);
+  BenchDriver driver(argc, argv, "8:2048:2", 1);
+  const std::size_t trials = driver.options().getUInt("trials", 10);
 
-  std::cout << "SEC4 — nonsplit adversaries and the tree-product reduction "
-               "(seed=" << seed << ")\n\n";
+  driver.printHeader(
+      "SEC4 — nonsplit adversaries and the tree-product reduction");
+
+  struct Row {
+    double randAvg = 0, skewAvg = 0;
+    // Part (b) — only for n <= 512 (prefix scan is O(n^3) per trial).
+    bool reduction = false;
+    double treeAvg = 0, pathAvg = 0;
+    std::size_t worstPrefix = 0;
+  };
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const auto rows = driver.engine().map<Row>(
+      sizes.size(), driver.seed(),
+      [&](std::size_t i, std::uint64_t taskSeed) {
+        const std::size_t n = sizes[i];
+        Row row;
+        Rng rng(taskSeed);
+        for (std::size_t t = 0; t < trials; ++t) {
+          row.randAvg += static_cast<double>(
+              runNonsplitBroadcast(
+                  n, [n](Rng& r) { return randomNonsplitGraph(n, 2 * n, r); },
+                  bounds::nonsplitLogUpper(n) + 8, rng)
+                  .rounds);
+          row.skewAvg += static_cast<double>(
+              runNonsplitBroadcast(
+                  n, [n](Rng& r) { return skewedNonsplitGraph(n, r); },
+                  bounds::nonsplitLogUpper(n) + 8, rng)
+                  .rounds);
+        }
+        row.randAvg /= static_cast<double>(trials);
+        row.skewAvg /= static_cast<double>(trials);
+
+        if (n <= 512) {
+          row.reduction = true;
+          for (std::size_t t = 0; t < trials; ++t) {
+            std::vector<RootedTree> trees, paths;
+            for (std::size_t j = 0; j + 1 < n; ++j) {
+              trees.push_back(randomRootedTree(n, rng));
+              paths.push_back(randomPath(n, rng));
+            }
+            row.treeAvg += static_cast<double>(nonsplitPrefixLength(trees));
+            row.pathAvg += static_cast<double>(nonsplitPrefixLength(paths));
+          }
+          row.treeAvg /= static_cast<double>(trials);
+          row.pathAvg /= static_cast<double>(trials);
+          const std::vector<RootedTree> worst(n - 1, makePath(n));
+          row.worstPrefix = nonsplitPrefixLength(worst);
+        }
+        return row;
+      });
 
   std::cout << "(a) broadcast under nonsplit adversaries vs ceil(log2 n):\n";
   TextTable logTable({"n", "random nonsplit t*", "skewed nonsplit t*",
                       "ceil(log2 n)"});
-  for (const std::size_t n : sizes) {
-    double randAvg = 0, skewAvg = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      randAvg += static_cast<double>(
-          runNonsplitBroadcast(
-              n, [n](Rng& r) { return randomNonsplitGraph(n, 2 * n, r); },
-              bounds::nonsplitLogUpper(n) + 8, rng)
-              .rounds);
-      skewAvg += static_cast<double>(
-          runNonsplitBroadcast(
-              n, [n](Rng& r) { return skewedNonsplitGraph(n, r); },
-              bounds::nonsplitLogUpper(n) + 8, rng)
-              .rounds);
-    }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
     logTable.row()
-        .add(static_cast<std::uint64_t>(n))
-        .add(randAvg / static_cast<double>(trials), 2)
-        .add(skewAvg / static_cast<double>(trials), 2)
-        .add(bounds::nonsplitLogUpper(n));
+        .add(static_cast<std::uint64_t>(sizes[i]))
+        .add(rows[i].randAvg, 2)
+        .add(rows[i].skewAvg, 2)
+        .add(bounds::nonsplitLogUpper(sizes[i]));
   }
-  std::cout << logTable.render() << '\n';
+  driver.emit(logTable);
 
   std::cout << "(b) rounds of rooted trees until the product is nonsplit "
                "(lemma of [1]: never more than n-1):\n";
   TextTable redTable({"n", "random trees avg prefix", "random paths avg",
                       "static path (worst case)", "bound n-1"});
-  for (const std::size_t n : sizes) {
-    if (n > 512) break;  // prefix scan is O(n^3) per trial; keep it snappy
-    double treeAvg = 0, pathAvg = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      std::vector<RootedTree> trees, paths;
-      for (std::size_t i = 0; i + 1 < n; ++i) {
-        trees.push_back(randomRootedTree(n, rng));
-        paths.push_back(randomPath(n, rng));
-      }
-      treeAvg += static_cast<double>(nonsplitPrefixLength(trees));
-      pathAvg += static_cast<double>(nonsplitPrefixLength(paths));
-    }
-    std::vector<RootedTree> worst(n - 1, makePath(n));
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (!rows[i].reduction) continue;
     redTable.row()
-        .add(static_cast<std::uint64_t>(n))
-        .add(treeAvg / static_cast<double>(trials), 2)
-        .add(pathAvg / static_cast<double>(trials), 2)
-        .add(static_cast<std::uint64_t>(nonsplitPrefixLength(worst)))
-        .add(static_cast<std::uint64_t>(n - 1));
+        .add(static_cast<std::uint64_t>(sizes[i]))
+        .add(rows[i].treeAvg, 2)
+        .add(rows[i].pathAvg, 2)
+        .add(static_cast<std::uint64_t>(rows[i].worstPrefix))
+        .add(static_cast<std::uint64_t>(sizes[i] - 1));
   }
   std::cout << redTable.render() << '\n';
   std::cout << "reading: (a) every nonsplit run is within the ceil(log2 n) "

@@ -4,55 +4,72 @@
 // grow linearly in n for fixed k and stay far below the unrestricted
 // upper bound once k ≪ n.
 //
-// Usage: restricted_adversaries [--sizes=16:512:2] [--ks=2,3,4,8] [--seed=1]
+// One engine task per (n, k) cell, seeds derived by position.
+//
+// Usage: restricted_adversaries [--sizes=16:512:2] [--ks=2,3,4,8]
+//                               [--seed=1] [--jobs=N] [--csv=path]
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/adversary/adaptive.h"
 #include "src/adversary/oblivious.h"
 #include "src/bounds/bounds.h"
-#include "src/support/options.h"
 #include "src/support/table.h"
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "16:512:2"));
-  const auto ks = parseSizeList(opts.getString("ks", "2,3,4,8"));
-  const std::uint64_t seed = opts.getUInt("seed", 1);
+  BenchDriver driver(argc, argv, "16:512:2", 1);
+  const auto ks = parseSizeList(driver.options().getString("ks", "2,3,4,8"));
 
-  std::cout << "SEC4 — restricted adversaries of [14] (seed=" << seed
-            << ")\n\n";
+  driver.printHeader("SEC4 — restricted adversaries of [14]");
+
+  struct Row {
+    bool valid = false;
+    std::size_t leaf = 0, inner = 0, delayLeaf = 0, delayInner = 0;
+  };
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const auto rows = driver.engine().map<Row>(
+      sizes.size() * ks.size(), driver.seed(),
+      [&](std::size_t i, std::uint64_t taskSeed) {
+        const std::size_t n = sizes[i / ks.size()];
+        const std::size_t k = ks[i % ks.size()];
+        Row row;
+        if (k >= n) return row;
+        row.valid = true;
+        KLeafAdversary leaf(n, k, taskSeed);
+        KInnerAdversary inner(n, k, taskSeed ^ 0xabcdull);
+        // Delaying members of each class: a broom with handle n−k has
+        // exactly k leaves; a broom with handle k has exactly k inner
+        // nodes.
+        FreezeBroomAdversary delayLeaf(n, n - k);
+        FreezeBroomAdversary delayInner(n, k);
+        // Cap generously: the O(kn) bound plus slack.
+        const std::size_t cap = bounds::kLeafUpper(n, k) + 4 * n;
+        row.leaf = runAdversary(n, leaf, cap).rounds;
+        row.inner = runAdversary(n, inner, cap).rounds;
+        row.delayLeaf = runAdversary(n, delayLeaf, cap).rounds;
+        row.delayInner = runAdversary(n, delayInner, cap).rounds;
+        return row;
+      });
 
   TextTable table({"n", "k", "random k-leaf t*", "random k-inner t*",
                    "delaying k-leaf t*", "delaying k-inner t*",
                    "O(kn) bound", "unrestricted UB"});
-  for (const std::size_t n : sizes) {
-    for (const std::size_t k : ks) {
-      if (k >= n) continue;
-      KLeafAdversary leaf(n, k, seed);
-      KInnerAdversary inner(n, k, seed ^ 0xabcdull);
-      // Delaying members of each class: a broom with handle n−k has
-      // exactly k leaves; a broom with handle k has exactly k inner nodes.
-      FreezeBroomAdversary delayLeaf(n, n - k);
-      FreezeBroomAdversary delayInner(n, k);
-      // Cap generously: the O(kn) bound plus slack.
-      const std::size_t cap = bounds::kLeafUpper(n, k) + 4 * n;
-      const BroadcastRun leafRun = runAdversary(n, leaf, cap);
-      const BroadcastRun innerRun = runAdversary(n, inner, cap);
-      const BroadcastRun delayLeafRun = runAdversary(n, delayLeaf, cap);
-      const BroadcastRun delayInnerRun = runAdversary(n, delayInner, cap);
-      table.row()
-          .add(static_cast<std::uint64_t>(n))
-          .add(static_cast<std::uint64_t>(k))
-          .add(static_cast<std::uint64_t>(leafRun.rounds))
-          .add(static_cast<std::uint64_t>(innerRun.rounds))
-          .add(static_cast<std::uint64_t>(delayLeafRun.rounds))
-          .add(static_cast<std::uint64_t>(delayInnerRun.rounds))
-          .add(bounds::kLeafUpper(n, k))
-          .add(bounds::linearUpper(n));
-    }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].valid) continue;
+    const std::size_t n = sizes[i / ks.size()];
+    const std::size_t k = ks[i % ks.size()];
+    table.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(k))
+        .add(static_cast<std::uint64_t>(rows[i].leaf))
+        .add(static_cast<std::uint64_t>(rows[i].inner))
+        .add(static_cast<std::uint64_t>(rows[i].delayLeaf))
+        .add(static_cast<std::uint64_t>(rows[i].delayInner))
+        .add(bounds::kLeafUpper(n, k))
+        .add(bounds::linearUpper(n));
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
   std::cout << "reading: random members of either class broadcast in "
                "O(log n) — restriction alone is not slowness. The delaying "
                "members realize the linear regime: the k-leaf column grows "

@@ -4,58 +4,74 @@
 //   * nothing exceeds the trivial n² bound;
 // plus random-environment baselines (§5's non-adversarial setting).
 //
+// One engine task per size; random trials inside a task draw from that
+// task's position-derived Rng, so every cell is --jobs-independent.
+//
 // Usage: static_adversaries [--sizes=4:1024:2] [--seed=1] [--trials=5]
+//                           [--jobs=N] [--csv=path]
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/adversary/oblivious.h"
 #include "src/bounds/bounds.h"
-#include "src/support/options.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
-#include "src/tree/generators.h"
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "4:1024:2"));
-  const std::uint64_t seed = opts.getUInt("seed", 1);
-  const std::size_t trials = opts.getUInt("trials", 5);
+  BenchDriver driver(argc, argv, "4:1024:2", 1);
+  const std::size_t trials = driver.options().getUInt("trials", 5);
 
-  std::cout << "SEC2 — static and random baselines (seed=" << seed << ")\n\n";
+  driver.printHeader("SEC2 — static and random baselines");
+
+  struct Row {
+    std::size_t pathRounds = 0;
+    double randomTreeAvg = 0;
+    double randomPathAvg = 0;
+    std::size_t altRounds = 0;
+  };
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const auto rows = driver.engine().map<Row>(
+      sizes.size(), driver.seed(),
+      [&](std::size_t i, std::uint64_t taskSeed) {
+        const std::size_t n = sizes[i];
+        Row row;
+        StaticPathAdversary path(n);
+        row.pathRounds = runAdversary(n, path, defaultRoundCap(n)).rounds;
+
+        // Random adversaries: average a few trials.
+        Rng rng(taskSeed);
+        for (std::size_t t = 0; t < trials; ++t) {
+          UniformRandomAdversary rt(n, rng());
+          RandomPathAdversary rp(n, rng());
+          row.randomTreeAvg += static_cast<double>(
+              runAdversary(n, rt, defaultRoundCap(n)).rounds);
+          row.randomPathAvg += static_cast<double>(
+              runAdversary(n, rp, defaultRoundCap(n)).rounds);
+        }
+        row.randomTreeAvg /= static_cast<double>(trials);
+        row.randomPathAvg /= static_cast<double>(trials);
+
+        AlternatingPathAdversary alt(n);
+        row.altRounds = runAdversary(n, alt, defaultRoundCap(n)).rounds;
+        return row;
+      });
 
   TextTable table({"n", "static path t*", "expected n-1", "random tree t*",
                    "random path t*", "alternating t*", "trivial cap n^2"});
-  Rng rng(seed);
-  for (const std::size_t n : sizes) {
-    StaticPathAdversary path(n);
-    const BroadcastRun pathRun = runAdversary(n, path, defaultRoundCap(n));
-
-    // Random adversaries: average a few trials.
-    double randomTreeAvg = 0, randomPathAvg = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      UniformRandomAdversary rt(n, rng());
-      RandomPathAdversary rp(n, rng());
-      randomTreeAvg += static_cast<double>(
-          runAdversary(n, rt, defaultRoundCap(n)).rounds);
-      randomPathAvg += static_cast<double>(
-          runAdversary(n, rp, defaultRoundCap(n)).rounds);
-    }
-    randomTreeAvg /= static_cast<double>(trials);
-    randomPathAvg /= static_cast<double>(trials);
-
-    AlternatingPathAdversary alt(n);
-    const BroadcastRun altRun = runAdversary(n, alt, defaultRoundCap(n));
-
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    const Row& row = rows[i];
     table.row()
         .add(static_cast<std::uint64_t>(n))
-        .add(static_cast<std::uint64_t>(pathRun.rounds))
+        .add(static_cast<std::uint64_t>(row.pathRounds))
         .add(static_cast<std::uint64_t>(n - 1))
-        .add(randomTreeAvg, 1)
-        .add(randomPathAvg, 1)
-        .add(static_cast<std::uint64_t>(altRun.rounds))
+        .add(row.randomTreeAvg, 1)
+        .add(row.randomPathAvg, 1)
+        .add(static_cast<std::uint64_t>(row.altRounds))
         .add(bounds::trivialUpper(n));
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
   std::cout << "reading: the static-path column must equal n-1 exactly "
                "(paper §2); random environments are far below worst case "
                "(§5); everything is far below the trivial n^2.\n";

@@ -6,53 +6,75 @@
 // paper predicts: witness/n → ≥ 1.5 for strong adversaries, and NO run
 // ever exceeds the upper curve.
 //
-// Usage: thm31_adversary_sweep [--sizes=4:512:2] [--seed=1] [--csv=path]
+// Both the portfolio sweep and the beam witness searches shard across
+// cores through the ExperimentEngine; seeds are position-derived, so the
+// output (and any --csv artifact) is byte-identical at every --jobs.
+//
+// Usage: thm31_adversary_sweep [--sizes=4:512:2] [--seed=1] [--seeds=R]
+//                              [--jobs=N] [--csv=path] [--beam-maxn=32]
+//                              [--beam-width=256]
+#include <algorithm>
 #include <iostream>
 
+#include "bench/driver.h"
 #include "src/adversary/beam.h"
-#include "src/adversary/portfolio.h"
-#include "src/analysis/csv.h"
 #include "src/bounds/theorem.h"
-#include "src/support/options.h"
 #include "src/support/table.h"
 
 int main(int argc, char** argv) {
   using namespace dynbcast;
-  const Options opts(argc, argv);
-  const auto sizes = parseSizeList(opts.getString("sizes", "4:128:2"));
-  const std::uint64_t seed = opts.getUInt("seed", 1);
+  BenchDriver driver(argc, argv, "4:128:2", 1);
   // Beam witness search is the strongest (offline) adversary; it costs
   // real time and its advantage concentrates at small-to-mid n, so it
   // runs only up to a size cap by default.
-  const std::size_t beamMaxN = opts.getUInt("beam-maxn", 32);
+  const std::size_t beamMaxN = driver.options().getUInt("beam-maxn", 32);
   BeamConfig beamCfg;
-  beamCfg.beamWidth = opts.getUInt("beam-width", 256);
+  beamCfg.beamWidth = driver.options().getUInt("beam-width", 256);
   beamCfg.randomMovesPerState = 8;
   beamCfg.diversityPercent = 40;
 
-  std::cout << "THM31 — adversaries vs Theorem 3.1 (seed=" << seed << ")\n"
-            << "best t* = max(online portfolio, offline beam witness for "
+  driver.printHeader("THM31 — adversaries vs Theorem 3.1");
+  std::cout << "best t* = max(online portfolio, offline beam witness for "
                "n <= " << beamMaxN << ")\n\n";
+
+  // Portfolio sweep: sizes × standard members, one task per member run.
+  const SweepResult sweep = driver.engine().runSweep(driver.sweepSpec());
+
+  // Beam witnesses fan out too: one task per size within the beam cap.
+  const std::vector<std::size_t>& sizes = driver.sizes();
+  const auto beamRows = driver.engine().map<std::size_t>(
+      sizes.size(), driver.seed() ^ 0xbea3ull,
+      [&](std::size_t i, std::uint64_t taskSeed) -> std::size_t {
+        const std::size_t n = sizes[i];
+        if (n > beamMaxN) return 0;
+        const BeamResult witness = beamSearchWitness(n, taskSeed, beamCfg);
+        return verifyWitness(n, witness.witness) == witness.rounds
+                   ? witness.rounds
+                   : 0;
+      });
 
   TextTable table({"n", "lower bound", "portfolio t*", "beam witness t*",
                    "best t*", "upper bound", "t*/n", "upper ok"});
   bool anyViolation = false;
-  for (const std::size_t n : sizes) {
-    const PortfolioResult result = runPortfolio(n, seed);
-    std::size_t beamRounds = 0;
-    if (n <= beamMaxN) {
-      const BeamResult witness = beamSearchWitness(n, seed, beamCfg);
-      if (verifyWitness(n, witness.witness) == witness.rounds) {
-        beamRounds = witness.rounds;
-      }
+  const std::size_t replicates = driver.seedsPerSize();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    // Portfolio t* for this n: best over its --seeds replicates (the
+    // instances are size-major, replicates contiguous).
+    std::size_t portfolioBest = 0;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      portfolioBest = std::max(
+          portfolioBest,
+          sweep.instances[i * replicates + r].portfolio.bestRounds);
     }
-    const std::size_t best = std::max(result.bestRounds, beamRounds);
+    const std::size_t beamRounds = beamRows[i];
+    const std::size_t best = std::max(portfolioBest, beamRounds);
     const TheoremCheck check = checkTheorem31(n, best);
     anyViolation |= !check.withinUpper;
     table.row()
         .add(static_cast<std::uint64_t>(n))
         .add(check.lower)
-        .add(static_cast<std::uint64_t>(result.bestRounds))
+        .add(static_cast<std::uint64_t>(portfolioBest))
         .add(beamRounds == 0 ? std::string("-")
                              : std::to_string(beamRounds))
         .add(static_cast<std::uint64_t>(best))
@@ -60,24 +82,23 @@ int main(int argc, char** argv) {
         .add(check.ratio, 3)
         .add(check.withinUpper ? "yes" : "VIOLATION");
   }
-  std::cout << table.render() << '\n';
+  driver.emit(table);
 
-  std::cout << "per-adversary detail at the largest n:\n";
-  const std::size_t nLast = sizes.back();
-  const PortfolioResult detail = runPortfolio(nLast, seed);
-  TextTable per({"adversary", "t*", "t*/n", "completed"});
-  for (const auto& e : detail.entries) {
-    per.row()
-        .add(e.name)
-        .add(static_cast<std::uint64_t>(e.rounds))
-        .add(static_cast<double>(e.rounds) / static_cast<double>(nLast), 3)
-        .add(e.completed ? "yes" : "no");
+  if (!sweep.instances.empty()) {
+    // The detail rows come straight from the sweep — no second run.
+    const SweepInstance& last = sweep.instances.back();
+    std::cout << "per-adversary detail at the largest n:\n";
+    TextTable per({"adversary", "t*", "t*/n", "completed"});
+    for (const auto& e : last.portfolio.entries) {
+      per.row()
+          .add(e.name)
+          .add(static_cast<std::uint64_t>(e.rounds))
+          .add(static_cast<double>(e.rounds) / static_cast<double>(last.n), 3)
+          .add(e.completed ? "yes" : "no");
+    }
+    std::cout << per.render() << '\n';
   }
-  std::cout << per.render() << '\n';
 
-  if (opts.has("csv")) {
-    writeCsv(opts.getString("csv", "thm31.csv"), table);
-  }
   if (anyViolation) {
     std::cout << "RESULT: UPPER BOUND VIOLATION DETECTED (bug!)\n";
     return 1;

@@ -45,19 +45,24 @@ std::vector<PortfolioMember> standardPortfolio(std::size_t n,
   return members;
 }
 
-PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed) {
-  return runPortfolio(n, seed, standardPortfolio(n, seed));
+PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed,
+                             bool recordHistory) {
+  return runPortfolio(n, seed, standardPortfolio(n, seed), recordHistory);
 }
 
 PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed,
-                             const std::vector<PortfolioMember>& members) {
+                             const std::vector<PortfolioMember>& members,
+                             bool recordHistory) {
   (void)seed;
   PortfolioResult result;
   const std::size_t cap = defaultRoundCap(n);
   for (const PortfolioMember& member : members) {
     const std::unique_ptr<Adversary> adversary = member.make();
-    const BroadcastRun run = runAdversary(n, *adversary, cap);
-    result.entries.push_back({member.name, run.rounds, run.completed});
+    // One run per member: history is recorded in the same run that
+    // produces the t* witness, never by replaying the member.
+    BroadcastRun run = runAdversary(n, *adversary, cap, recordHistory);
+    result.entries.push_back(
+        {member.name, run.rounds, run.completed, std::move(run.history)});
     if (run.completed && run.rounds > result.bestRounds) {
       result.bestRounds = run.rounds;
       result.bestName = member.name;

@@ -31,6 +31,10 @@ struct PortfolioEntry {
   std::string name;
   std::size_t rounds = 0;
   bool completed = false;
+  /// Per-round metrics of THIS member's run; empty unless the caller
+  /// asked for history. Captured during the one and only run of the
+  /// member — history never costs a re-run.
+  std::vector<RoundMetrics> history;
 };
 
 struct PortfolioResult {
@@ -41,12 +45,14 @@ struct PortfolioResult {
 };
 
 /// Runs each member to completion (cap defaultRoundCap(n)) and collects
-/// the per-member broadcast times.
-[[nodiscard]] PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed);
+/// the per-member broadcast times. Each member runs exactly once; with
+/// recordHistory, its per-round metrics land in the matching entry.
+[[nodiscard]] PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed,
+                                           bool recordHistory = false);
 
 /// Runs only the named members (useful for quick benches).
 [[nodiscard]] PortfolioResult runPortfolio(
     std::size_t n, std::uint64_t seed,
-    const std::vector<PortfolioMember>& members);
+    const std::vector<PortfolioMember>& members, bool recordHistory = false);
 
 }  // namespace dynbcast

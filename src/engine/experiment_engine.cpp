@@ -1,0 +1,114 @@
+#include "src/engine/experiment_engine.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/adversary/adversary.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+namespace {
+
+struct InstancePlan {
+  std::size_t n = 0;
+  std::size_t seedIndex = 0;
+  std::uint64_t instanceSeed = 0;
+  std::vector<PortfolioMember> members;
+  std::size_t firstRow = 0;  // offset of this instance's rows
+};
+
+}  // namespace
+
+ExperimentEngine::ExperimentEngine(EngineConfig config)
+    : config_(config), pool_(config.jobs) {}
+
+SweepResult ExperimentEngine::runSweep(const SweepSpec& spec) {
+  DYNBCAST_ASSERT(spec.seedsPerSize > 0);
+  const auto portfolio =
+      spec.portfolio
+          ? spec.portfolio
+          : [](std::size_t n, std::uint64_t seed) {
+              return standardPortfolio(n, seed);
+            };
+
+  // Plan phase (serial, cheap): flatten sizes × replicates into instances
+  // and materialize each instance's member list, so every task has a
+  // fixed position before any runs. Instance seeds are position-derived —
+  // replicate r of sizes[s] always gets SeedSequence.at(s*R + r).
+  const SeedSequence seeds(spec.masterSeed);
+  std::vector<InstancePlan> plan;
+  plan.reserve(spec.sizes.size() * spec.seedsPerSize);
+  std::size_t totalRows = 0;
+  for (std::size_t s = 0; s < spec.sizes.size(); ++s) {
+    for (std::size_t r = 0; r < spec.seedsPerSize; ++r) {
+      InstancePlan instance;
+      instance.n = spec.sizes[s];
+      instance.seedIndex = r;
+      instance.instanceSeed = seeds.at(s * spec.seedsPerSize + r);
+      instance.members = portfolio(instance.n, instance.instanceSeed);
+      instance.firstRow = totalRows;
+      totalRows += instance.members.size();
+      plan.push_back(std::move(instance));
+    }
+  }
+
+  // Run phase: one task per (instance, member) — member runs of one large
+  // instance spread over all cores instead of serializing on one. Each
+  // task writes only its own position-indexed slot, so the only shared
+  // state is read-only plan data.
+  std::vector<std::pair<std::size_t, std::size_t>> taskOf;  // row → (p, m)
+  taskOf.reserve(totalRows);
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    for (std::size_t m = 0; m < plan[p].members.size(); ++m) {
+      taskOf.emplace_back(p, m);
+    }
+  }
+  SweepResult result;
+  result.rows.resize(totalRows);
+  const bool recordHistory = config_.recordHistory;
+  const std::size_t roundCap = spec.roundCap;
+  pool_.parallelFor(totalRows, [&](std::size_t t) {
+    const auto [p, m] = taskOf[t];
+    const InstancePlan& instance = plan[p];
+    const PortfolioMember& member = instance.members[m];
+    const std::unique_ptr<Adversary> adversary = member.make();
+    const std::size_t cap =
+        roundCap != 0 ? roundCap : defaultRoundCap(instance.n);
+    BroadcastRun run =
+        runAdversary(instance.n, *adversary, cap, recordHistory);
+    SweepRow& row = result.rows[instance.firstRow + m];
+    row.n = instance.n;
+    row.seedIndex = instance.seedIndex;
+    row.instanceSeed = instance.instanceSeed;
+    row.member = member.name;
+    row.rounds = run.rounds;
+    row.completed = run.completed;
+    row.history = std::move(run.history);
+  });
+
+  // Aggregate phase (serial): regroup rows into per-instance portfolio
+  // results, preserving the deterministic order.
+  result.instances.reserve(plan.size());
+  for (const InstancePlan& instance : plan) {
+    SweepInstance aggregate;
+    aggregate.n = instance.n;
+    aggregate.seedIndex = instance.seedIndex;
+    aggregate.instanceSeed = instance.instanceSeed;
+    for (std::size_t m = 0; m < instance.members.size(); ++m) {
+      const SweepRow& row = result.rows[instance.firstRow + m];
+      // History stays in rows only — copying the per-round metrics here
+      // would double the sweep's dominant allocation at large n.
+      aggregate.portfolio.entries.push_back(
+          {row.member, row.rounds, row.completed, {}});
+      if (row.completed && row.rounds > aggregate.portfolio.bestRounds) {
+        aggregate.portfolio.bestRounds = row.rounds;
+        aggregate.portfolio.bestName = row.member;
+      }
+    }
+    result.instances.push_back(std::move(aggregate));
+  }
+  return result;
+}
+
+}  // namespace dynbcast

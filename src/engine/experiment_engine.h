@@ -1,0 +1,127 @@
+// ExperimentEngine: the shared parallel sweep substrate for benches and
+// tests.
+//
+// Every number this repo reports comes from embarrassingly parallel
+// per-(n, seed, adversary) runs. The engine owns the one correct way to
+// shard them: a declarative SweepSpec (sizes × seed replicates × portfolio
+// members) is flattened into tasks, each task's seed is derived from its
+// POSITION via SeedSequence (never from execution order), the tasks fan
+// out over a work-stealing ThreadPool, and every result lands in a
+// preallocated slot indexed by position. Consequence: the collected rows
+// are bit-identical at any --jobs value, so parallelism is free to use
+// everywhere — including inside determinism tests.
+//
+// Two entry points:
+//   * runSweep(spec)      — the portfolio workload (rows + per-instance
+//                           aggregates, Definition 2.3's max);
+//   * map(count, seed, f) — generic sharding for everything else (beam
+//                           witness searches, gossip scenarios, …).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/adversary/portfolio.h"
+#include "src/sim/metrics.h"
+#include "src/support/seed_sequence.h"
+#include "src/support/thread_pool.h"
+
+namespace dynbcast {
+
+struct EngineConfig {
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t jobs = 1;
+  /// Capture per-round metrics in every row (costly at large n).
+  bool recordHistory = false;
+};
+
+/// Declarative description of a portfolio sweep. The factory is invoked
+/// once per (n, seed) instance on the calling thread; the returned
+/// members' make() closures are then called concurrently, so they must
+/// not share mutable state (standardPortfolio's are pure).
+struct SweepSpec {
+  std::vector<std::size_t> sizes;
+  std::uint64_t masterSeed = 1;
+  /// Independent seed replicates per size (instance seeds are derived,
+  /// so replicate r of size n is decorrelated from every other task).
+  std::size_t seedsPerSize = 1;
+  /// Portfolio members per instance; empty = standardPortfolio.
+  std::function<std::vector<PortfolioMember>(std::size_t n,
+                                             std::uint64_t seed)>
+      portfolio;
+  /// Round cap per instance; 0 = defaultRoundCap(n).
+  std::size_t roundCap = 0;
+};
+
+/// One member's run inside a sweep — the atomic unit of work.
+struct SweepRow {
+  std::size_t n = 0;
+  std::size_t seedIndex = 0;      // replicate index within this size
+  std::uint64_t instanceSeed = 0; // derived seed shared by the instance
+  std::string member;
+  std::size_t rounds = 0;
+  bool completed = false;
+  std::vector<RoundMetrics> history;  // empty unless recordHistory
+
+  friend bool operator==(const SweepRow& a, const SweepRow& b) {
+    return a.n == b.n && a.seedIndex == b.seedIndex &&
+           a.instanceSeed == b.instanceSeed && a.member == b.member &&
+           a.rounds == b.rounds && a.completed == b.completed;
+  }
+};
+
+/// Per-(n, seed) aggregate: the portfolio view of one instance. Entry
+/// histories are left empty here — per-round metrics live only in
+/// SweepResult::rows, to avoid holding them twice.
+struct SweepInstance {
+  std::size_t n = 0;
+  std::size_t seedIndex = 0;
+  std::uint64_t instanceSeed = 0;
+  PortfolioResult portfolio;  // entries in member order
+};
+
+struct SweepResult {
+  /// All rows, ordered by (size position, seed replicate, member) — the
+  /// same order a serial loop would produce, at any thread count.
+  std::vector<SweepRow> rows;
+  /// Rows regrouped per instance, same deterministic order.
+  std::vector<SweepInstance> instances;
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineConfig config = {});
+
+  [[nodiscard]] std::size_t jobCount() const noexcept {
+    return pool_.threadCount();
+  }
+
+  /// Fans the sweep out across the pool; see SweepResult for ordering.
+  [[nodiscard]] SweepResult runSweep(const SweepSpec& spec);
+
+  /// Generic sharded map: evaluates fn(index, seed) for every index in
+  /// [0, count), where seed = SeedSequence(masterSeed).at(index), and
+  /// returns results in index order. R must be default-constructible.
+  template <typename R, typename F>
+  [[nodiscard]] std::vector<R> map(std::size_t count,
+                                   std::uint64_t masterSeed, F&& fn) {
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> bit-packs, so concurrent writes to "
+                  "adjacent slots race — use char or a wrapper struct");
+    std::vector<R> out(count);
+    const SeedSequence seeds(masterSeed);
+    pool_.parallelFor(count, [&](std::size_t index) {
+      out[index] = fn(index, seeds.at(index));
+    });
+    return out;
+  }
+
+ private:
+  EngineConfig config_;
+  ThreadPool pool_;
+};
+
+}  // namespace dynbcast

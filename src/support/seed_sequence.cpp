@@ -1,0 +1,18 @@
+#include "src/support/seed_sequence.h"
+
+namespace dynbcast {
+
+std::uint64_t SeedSequence::at(std::uint64_t index) const noexcept {
+  // Two chained splitmix64 finalizations over a master/index combination.
+  // splitmix64 is bijective for a fixed increment, so distinct indices
+  // under one master can never collide after the first pass; the second
+  // pass decorrelates children of related masters (seed, seed+1, …),
+  // which experiment scripts commonly use.
+  std::uint64_t state = master_ ^ (index * 0x9e3779b97f4a7c15ull);
+  std::uint64_t derived = splitmix64(state);
+  state = derived + index;
+  derived = splitmix64(state);
+  return derived;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,173 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <utility>
+
+namespace dynbcast {
+
+namespace {
+
+// Workers record which pool (and slot) they belong to, so submit() from
+// inside a task can push onto the local queue instead of round-robin.
+thread_local const ThreadPool* tlsPool = nullptr;
+thread_local std::size_t tlsWorkerIndex = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    // Drain: every task submitted before this point must finish.
+    drain_.wait(lock, [this] { return inFlight_ == 0; });
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    // Publish under sleepMutex_: workers decide to sleep only after
+    // rescanning all queues while holding sleepMutex_, so a push made
+    // under the same lock can never slip into the window between a
+    // worker's rescan and its wait (the classic lost wakeup).
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    std::size_t target;
+    if (tlsPool == this) {
+      target = tlsWorkerIndex;  // nested submit: keep work local, stealable
+    } else {
+      target = nextQueue_;
+      nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    }
+    ++inFlight_;
+    std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
+    queues_[target]->queue.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::tryRunOne(std::size_t self) {
+  Task task;
+  // Own queue first (LIFO — cache-warm, depth-first on nested work) …
+  {
+    Worker& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+    }
+  }
+  // … then steal from victims (FIFO — takes the oldest, largest work).
+  if (!task) {
+    const std::size_t count = queues_.size();
+    for (std::size_t offset = 1; offset < count && !task; ++offset) {
+      Worker& victim = *queues_[(self + offset) % count];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.queue.empty()) {
+        task = std::move(victim.queue.front());
+        victim.queue.pop_front();
+      }
+    }
+  }
+  if (!task) return false;
+  task();  // packaged_task captures any exception into its future
+  {
+    std::lock_guard<std::mutex> lock(sleepMutex_);
+    --inFlight_;
+    if (inFlight_ == 0) drain_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  tlsPool = this;
+  tlsWorkerIndex = self;
+  for (;;) {
+    if (tryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(sleepMutex_);
+    if (stopping_) return;
+    // Re-check under the lock: a task may have been enqueued between the
+    // failed scan and acquiring sleepMutex_ (its notify would be lost).
+    bool anyQueued = false;
+    for (const auto& worker : queues_) {
+      std::lock_guard<std::mutex> qlock(worker->mutex);
+      if (!worker->queue.empty()) {
+        anyQueued = true;
+        break;
+      }
+    }
+    if (anyQueued) continue;
+    wake_.wait(lock);
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1) {
+    body(0);
+    return;
+  }
+  struct Shared {
+    std::atomic<std::size_t> remaining;
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t firstErrorIndex = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->remaining.store(count, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < count; ++i) {
+    enqueue([shared, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (i < shared->firstErrorIndex) {
+          shared->firstErrorIndex = i;
+          shared->error = std::current_exception();
+        }
+      }
+      if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        shared->done.notify_all();
+      }
+    });
+  }
+  // The caller helps execute while waiting — work finishes sooner and a
+  // parallelFor issued from inside a pool task cannot deadlock the pool.
+  const std::size_t self = tlsPool == this ? tlsWorkerIndex : 0;
+  while (shared->remaining.load(std::memory_order_acquire) != 0) {
+    if (tryRunOne(self)) continue;
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    shared->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return shared->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+std::size_t ThreadPool::pendingTasks() const {
+  std::lock_guard<std::mutex> lock(sleepMutex_);
+  return inFlight_;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,98 @@
+// Work-stealing thread pool — the execution substrate for experiment
+// sweeps.
+//
+// Each worker owns a deque of tasks; submit() distributes round-robin
+// (or onto the submitting worker's own queue, keeping nested work local),
+// workers pop their own queue LIFO and steal FIFO from victims when
+// empty. Stealing keeps all cores busy on irregular workloads — sweep
+// tasks vary by orders of magnitude (n = 4 vs n = 256) — without any
+// central dispatcher becoming a bottleneck.
+//
+// Guarantees:
+//   * every task submitted before the destructor runs to completion
+//     (shutdown drains pending work; nothing is dropped);
+//   * exceptions thrown by tasks surface through the std::future returned
+//     by submit() — they never kill a worker thread;
+//   * submitting from inside a task is safe (no deadlock: workers never
+//     block on other tasks, and the destructor joins only after the
+//     task count reaches zero).
+//
+// Determinism note: the pool makes no ordering promises between tasks —
+// reproducibility is the caller's job (see SeedSequence, which derives
+// seeds from task *positions*, never from execution order).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dynbcast {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains all pending work, then joins the workers. Tasks submitted
+  /// before destruction are guaranteed to run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t threadCount() const noexcept {
+    return workers_.size();
+  }
+
+  /// Schedules `fn` and returns a future carrying its result (or its
+  /// exception). Callable from any thread, including from inside a task.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs body(0) … body(count-1) across the pool and blocks until all
+  /// complete. If any invocation throws, the exception with the LOWEST
+  /// index is rethrown (a deterministic choice — schedule-independent).
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& body);
+
+  /// Tasks submitted and not yet finished (diagnostic; racy by nature).
+  [[nodiscard]] std::size_t pendingTasks() const;
+
+ private:
+  using Task = std::function<void()>;
+
+  struct Worker {
+    mutable std::mutex mutex;
+    std::deque<Task> queue;
+  };
+
+  void enqueue(Task task);
+  void workerLoop(std::size_t self);
+  [[nodiscard]] bool tryRunOne(std::size_t self);
+
+  std::vector<std::unique_ptr<Worker>> queues_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex sleepMutex_;
+  std::condition_variable wake_;   // workers wait here when all queues empty
+  std::condition_variable drain_;  // destructor waits for inFlight_ == 0
+  std::size_t inFlight_ = 0;       // submitted but not yet finished
+  std::size_t nextQueue_ = 0;      // round-robin cursor for external submits
+  bool stopping_ = false;
+};
+
+}  // namespace dynbcast

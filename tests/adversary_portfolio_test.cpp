@@ -2,10 +2,32 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
+#include "src/adversary/oblivious.h"
 #include "src/bounds/bounds.h"
 
 namespace dynbcast {
 namespace {
+
+// Counts its runs via reset() — runAdversary resets exactly once per run.
+class RunCountingAdversary : public Adversary {
+ public:
+  RunCountingAdversary(std::size_t n, int& runs) : path_(n), runs_(runs) {}
+  RootedTree nextTree(const BroadcastSim& state) override {
+    return path_.nextTree(state);
+  }
+  std::string name() const override { return "run-counting"; }
+  void reset() override {
+    ++runs_;
+    path_.reset();
+  }
+
+ private:
+  StaticPathAdversary path_;
+  int& runs_;
+};
 
 TEST(PortfolioTest, StandardMembersPresent) {
   const auto members = standardPortfolio(8, 1);
@@ -61,6 +83,44 @@ TEST(PortfolioTest, SubsetRunsOnlyRequestedMembers) {
   members.resize(2);
   const PortfolioResult result = runPortfolio(8, 1, members);
   EXPECT_EQ(result.entries.size(), 2u);
+}
+
+TEST(PortfolioTest, HistoryComesFromASingleRunPerMember) {
+  // Regression for the latent inefficiency: asking for history used to
+  // mean re-running a member from scratch. Each member must run exactly
+  // once whether or not history is recorded.
+  int runsWithHistory = 0;
+  int runsWithout = 0;
+  const std::size_t n = 9;
+  std::vector<PortfolioMember> withHistory;
+  withHistory.push_back({"run-counting", [n, &runsWithHistory] {
+                           return std::make_unique<RunCountingAdversary>(
+                               n, runsWithHistory);
+                         }});
+  std::vector<PortfolioMember> without;
+  without.push_back({"run-counting", [n, &runsWithout] {
+                       return std::make_unique<RunCountingAdversary>(
+                           n, runsWithout);
+                     }});
+
+  const PortfolioResult plain = runPortfolio(n, 1, without);
+  const PortfolioResult traced =
+      runPortfolio(n, 1, withHistory, /*recordHistory=*/true);
+
+  EXPECT_EQ(runsWithout, 1);
+  EXPECT_EQ(runsWithHistory, 1) << "history recording must not re-run";
+  ASSERT_EQ(plain.entries.size(), 1u);
+  ASSERT_EQ(traced.entries.size(), 1u);
+  EXPECT_EQ(plain.entries[0].rounds, traced.entries[0].rounds);
+  EXPECT_TRUE(plain.entries[0].history.empty());
+  EXPECT_EQ(traced.entries[0].history.size(), traced.entries[0].rounds);
+}
+
+TEST(PortfolioTest, HistoryEmptyByDefault) {
+  const PortfolioResult result = runPortfolio(8, 2);
+  for (const auto& e : result.entries) {
+    EXPECT_TRUE(e.history.empty()) << e.name;
+  }
 }
 
 TEST(PortfolioTest, DeterministicAcrossInvocations) {

@@ -1,0 +1,204 @@
+// ExperimentEngine: the sharded sweep layer. The load-bearing contract is
+// determinism — a SweepSpec must produce bit-identical rows at any job
+// count, because seeds are derived from task positions and results land
+// in position-indexed slots. Everything the benches print flows through
+// this, so these tests are what make --jobs safe to default on.
+#include "src/engine/experiment_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+#include "src/adversary/oblivious.h"
+#include "src/support/seed_sequence.h"
+
+namespace dynbcast {
+namespace {
+
+// A member whose reset() count exposes how many runs it performed.
+class CountingAdversary : public Adversary {
+ public:
+  CountingAdversary(std::size_t n, std::atomic<int>& runs)
+      : path_(n), runs_(runs) {}
+  RootedTree nextTree(const BroadcastSim& state) override {
+    return path_.nextTree(state);
+  }
+  std::string name() const override { return "counting"; }
+  void reset() override {
+    ++runs_;
+    path_.reset();
+  }
+
+ private:
+  StaticPathAdversary path_;
+  std::atomic<int>& runs_;
+};
+
+TEST(EngineTest, EmptySweepProducesNoRows) {
+  ExperimentEngine engine;
+  SweepSpec spec;  // no sizes
+  const SweepResult result = engine.runSweep(spec);
+  EXPECT_TRUE(result.rows.empty());
+  EXPECT_TRUE(result.instances.empty());
+}
+
+TEST(EngineTest, SingletonSweepMatchesDirectPortfolioRun) {
+  SweepSpec spec;
+  spec.sizes = {10};
+  spec.masterSeed = 99;
+  ExperimentEngine engine;
+  const SweepResult result = engine.runSweep(spec);
+
+  // The engine's instance seed is position-derived; a serial
+  // runPortfolio with that same seed must reproduce every row.
+  const std::uint64_t instanceSeed = SeedSequence(99).at(0);
+  const PortfolioResult direct = runPortfolio(10, instanceSeed);
+  ASSERT_EQ(result.rows.size(), direct.entries.size());
+  ASSERT_EQ(result.instances.size(), 1u);
+  for (std::size_t i = 0; i < direct.entries.size(); ++i) {
+    EXPECT_EQ(result.rows[i].member, direct.entries[i].name);
+    EXPECT_EQ(result.rows[i].rounds, direct.entries[i].rounds);
+    EXPECT_EQ(result.rows[i].completed, direct.entries[i].completed);
+    EXPECT_EQ(result.rows[i].instanceSeed, instanceSeed);
+  }
+  EXPECT_EQ(result.instances[0].portfolio.bestRounds, direct.bestRounds);
+  EXPECT_EQ(result.instances[0].portfolio.bestName, direct.bestName);
+}
+
+TEST(EngineTest, RowsAreOrderedBySizeThenSeedThenMember) {
+  SweepSpec spec;
+  spec.sizes = {6, 9};
+  spec.seedsPerSize = 2;
+  spec.masterSeed = 5;
+  ExperimentEngine engine(EngineConfig{.jobs = 4, .recordHistory = false});
+  const SweepResult result = engine.runSweep(spec);
+
+  const std::size_t membersPerInstance = standardPortfolio(6, 1).size();
+  ASSERT_EQ(result.rows.size(), 2 * 2 * membersPerInstance);
+  std::size_t row = 0;
+  for (const std::size_t n : {6, 9}) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t m = 0; m < membersPerInstance; ++m, ++row) {
+        EXPECT_EQ(result.rows[row].n, static_cast<std::size_t>(n));
+        EXPECT_EQ(result.rows[row].seedIndex, r);
+      }
+    }
+  }
+}
+
+// Satellite: the determinism regression — the same SweepSpec at jobs=1
+// and jobs=8 must produce identical rows (and hence identical CSVs),
+// because seed derivation is position-based, not schedule-based.
+TEST(EngineTest, SweepIsBitIdenticalAcrossJobCounts) {
+  SweepSpec spec;
+  spec.sizes = {4, 7, 12, 16};
+  spec.seedsPerSize = 3;
+  spec.masterSeed = 2026;
+
+  ExperimentEngine serial(EngineConfig{.jobs = 1});
+  ExperimentEngine parallel(EngineConfig{.jobs = 8});
+  const SweepResult a = serial.runSweep(spec);
+  const SweepResult b = parallel.runSweep(spec);
+
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i], b.rows[i]) << "row " << i;
+  }
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].portfolio.bestRounds,
+              b.instances[i].portfolio.bestRounds);
+    EXPECT_EQ(a.instances[i].portfolio.bestName,
+              b.instances[i].portfolio.bestName);
+  }
+}
+
+TEST(EngineTest, MapDerivesSeedsByPositionAndPreservesOrder) {
+  ExperimentEngine engine(EngineConfig{.jobs = 4});
+  struct Cell {
+    std::size_t index = 0;
+    std::uint64_t seed = 0;
+  };
+  const auto cells = engine.map<Cell>(
+      64, 77, [](std::size_t i, std::uint64_t seed) {
+        return Cell{i, seed};
+      });
+  const SeedSequence expected(77);
+  ASSERT_EQ(cells.size(), 64u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].seed, expected.at(i));
+  }
+}
+
+TEST(EngineTest, MapEmptyAndSingleton) {
+  ExperimentEngine engine;
+  EXPECT_TRUE((engine.map<int>(0, 1, [](std::size_t, std::uint64_t) {
+                return 1;
+              })).empty());
+  const auto one = engine.map<int>(1, 1, [](std::size_t, std::uint64_t) {
+    return 42;
+  });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(EngineTest, RecordHistoryFillsEveryRowInItsSingleRun) {
+  std::atomic<int> runs{0};
+  SweepSpec spec;
+  spec.sizes = {8, 11};
+  spec.masterSeed = 3;
+  spec.portfolio = [&runs](std::size_t n, std::uint64_t) {
+    std::vector<PortfolioMember> members;
+    members.push_back({"counting", [n, &runs] {
+                         return std::make_unique<CountingAdversary>(n, runs);
+                       }});
+    return members;
+  };
+  ExperimentEngine engine(EngineConfig{.jobs = 2, .recordHistory = true});
+  const SweepResult result = engine.runSweep(spec);
+  ASSERT_EQ(result.rows.size(), 2u);
+  for (const SweepRow& row : result.rows) {
+    EXPECT_TRUE(row.completed);
+    EXPECT_EQ(row.history.size(), row.rounds)
+        << "history must cover every round of " << row.member;
+  }
+  // One reset per member run: history recording never costs a re-run.
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(EngineTest, CustomRoundCapLimitsRuns) {
+  SweepSpec spec;
+  spec.sizes = {16};
+  spec.roundCap = 3;  // static path needs 15 rounds; it must be cut off
+  ExperimentEngine engine;
+  const SweepResult result = engine.runSweep(spec);
+  ASSERT_FALSE(result.rows.empty());
+  for (const SweepRow& row : result.rows) {
+    EXPECT_FALSE(row.completed) << row.member;
+    EXPECT_LE(row.rounds, 3u) << row.member;
+  }
+  EXPECT_EQ(result.instances[0].portfolio.bestRounds, 0u);
+}
+
+TEST(EngineTest, TaskExceptionPropagatesToCaller) {
+  SweepSpec spec;
+  spec.sizes = {6};
+  spec.portfolio = [](std::size_t, std::uint64_t) {
+    std::vector<PortfolioMember> members;
+    members.push_back({"broken", []() -> std::unique_ptr<Adversary> {
+                         throw std::runtime_error("factory exploded");
+                       }});
+    return members;
+  };
+  ExperimentEngine engine(EngineConfig{.jobs = 2});
+  EXPECT_THROW((void)engine.runSweep(spec), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dynbcast

@@ -3,6 +3,10 @@
 // 2.1–2.3 and must agree exactly, round by round, on any tree sequence.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "src/adversary/portfolio.h"
+#include "src/engine/experiment_engine.h"
 #include "src/sim/broadcast_sim.h"
 #include "src/sim/process_sim.h"
 #include "src/support/rng.h"
@@ -92,6 +96,54 @@ TEST(CrossValidationTest, SameBroadcastRoundOnIdenticalSequences) {
     }
     EXPECT_EQ(fastDone, slowDone);
     EXPECT_NE(fastDone, 0u);
+  }
+}
+
+TEST(CrossValidationTest, EngineShardedPortfolioAgreementOnRandomInstances) {
+  // Property-style sweep, sharded through the ExperimentEngine: for 200
+  // random (n ≤ 24, seed) instances, EVERY portfolio member — driven by
+  // the fast BroadcastSim it plays against — must complete broadcast at
+  // the same round on the literal message-passing ProcessSim.
+  constexpr std::size_t kInstances = 200;
+  struct Verdict {
+    bool ok = true;
+    std::string detail;
+  };
+  ExperimentEngine engine(EngineConfig{.jobs = 2});
+  const auto verdicts = engine.map<Verdict>(
+      kInstances, 0xc0ffee, [](std::size_t, std::uint64_t taskSeed) {
+        Rng rng(taskSeed);
+        const std::size_t n = 2 + rng.uniform(23);  // n in [2, 24]
+        const std::uint64_t seed = rng();
+        Verdict verdict;
+        for (const PortfolioMember& member : standardPortfolio(n, seed)) {
+          const auto adversary = member.make();
+          adversary->reset();
+          BroadcastSim fast(n);
+          ProcessSim slow(n);
+          std::size_t fastDone = 0, slowDone = 0;
+          const std::size_t cap = defaultRoundCap(n);
+          for (std::size_t r = 1;
+               r <= cap && (fastDone == 0 || slowDone == 0); ++r) {
+            const RootedTree tree = adversary->nextTree(fast);
+            fast.applyTree(tree);
+            slow.applyTree(tree);
+            if (fastDone == 0 && fast.broadcastDone()) fastDone = r;
+            if (slowDone == 0 && slow.broadcastDone()) slowDone = r;
+          }
+          if (fastDone == 0 || fastDone != slowDone) {
+            verdict.ok = false;
+            verdict.detail = member.name + " at n=" + std::to_string(n) +
+                             " seed=" + std::to_string(seed) +
+                             ": BroadcastSim t*=" + std::to_string(fastDone) +
+                             " ProcessSim t*=" + std::to_string(slowDone);
+            return verdict;
+          }
+        }
+        return verdict;
+      });
+  for (const Verdict& verdict : verdicts) {
+    EXPECT_TRUE(verdict.ok) << verdict.detail;
   }
 }
 
