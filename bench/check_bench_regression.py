@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Compares the JSON emitted by `perf_harness` (BENCH_kernels.json +
+BENCH_sweep.json) against the committed bench/baseline.json and fails
+when any gated metric drops more than its tolerance below the baseline.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline.json \
+      --kernels BENCH_kernels.json --sweep BENCH_sweep.json
+  check_bench_regression.py --write-baseline ... (regenerate the file)
+
+Baseline schema (dynbcast-bench-baseline/1):
+  {
+    "schema": "dynbcast-bench-baseline/1",
+    "metrics": {
+      "<key>": {"value": <float>, "tolerance_pct": <float>},
+      ...
+    }
+  }
+where <key> is either "kernel:<name>:<bits>:gib_per_s" /
+"kernel:<name>:<bits>:ns_per_op" (from BENCH_kernels.json) or
+"sweep:<field>" (from BENCH_sweep.json). Throughput-like metrics
+(gib_per_s, speedups) regress DOWNWARD; ns_per_op regresses UPWARD —
+the comparison direction is inferred from the key.
+
+Runner CPUs vary, so kernel throughput baselines carry generous
+tolerances; the ratio metrics (arena_speedup, product_blocked_speedup)
+are machine-relative and carry tight ones. A commit whose message
+contains [bench-skip] bypasses the gate entirely (CI wires that up).
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics gated by default when regenerating a baseline. Ratios are the
+# robust cross-machine signal; one absolute throughput per kernel at the
+# largest quick-mode size catches "the kernel stopped vectorizing" while
+# the wide tolerance absorbs runner variance.
+DEFAULT_GATES = {
+    "sweep:arena_speedup": 30.0,
+    "sweep:product_blocked_speedup": 40.0,
+    "kernel:orAssign:1024:gib_per_s": 60.0,
+    "kernel:orCount:1024:gib_per_s": 60.0,
+    "kernel:intersectAny:1024:gib_per_s": 60.0,
+}
+
+
+def flatten(kernels_doc, sweep_doc):
+    """All gateable metrics of one perf_harness run, keyed per schema."""
+    out = {}
+    for k in kernels_doc.get("kernels", []):
+        prefix = "kernel:%s:%d" % (k["name"], k["bits"])
+        out[prefix + ":gib_per_s"] = k.get("gib_per_s", 0.0)
+        out[prefix + ":ns_per_op"] = k.get("ns_per_op", 0.0)
+    for field in ("arena_speedup", "product_blocked_speedup",
+                  "portfolio_arena_ms", "portfolio_legacy_ms"):
+        if field in sweep_doc:
+            out["sweep:" + field] = sweep_doc[field]
+    return out
+
+
+def lower_is_better(key):
+    return key.endswith("ns_per_op") or key.endswith("_ms")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--kernels", required=True)
+    ap.add_argument("--sweep", required=True)
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the baseline from the current run")
+    args = ap.parse_args()
+
+    with open(args.kernels) as f:
+        kernels_doc = json.load(f)
+    with open(args.sweep) as f:
+        sweep_doc = json.load(f)
+    current = flatten(kernels_doc, sweep_doc)
+
+    if args.write_baseline:
+        metrics = {}
+        for key, tol in DEFAULT_GATES.items():
+            if key not in current:
+                sys.exit("cannot write baseline: %s missing from run" % key)
+            metrics[key] = {"value": round(current[key], 4),
+                            "tolerance_pct": tol}
+        doc = {"schema": "dynbcast-bench-baseline/1", "metrics": metrics}
+        with open(args.baseline, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        print("wrote %s (%d gated metrics)" % (args.baseline, len(metrics)))
+        return
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    if baseline.get("schema") != "dynbcast-bench-baseline/1":
+        sys.exit("unrecognized baseline schema")
+
+    failures = []
+    print("%-42s %10s %10s %8s  %s"
+          % ("metric", "baseline", "current", "tol%", "status"))
+    for key, spec in sorted(baseline["metrics"].items()):
+        base, tol = spec["value"], spec["tolerance_pct"]
+        if key not in current:
+            print("%-42s %10.3f %10s %8.0f  MISSING" % (key, base, "-", tol))
+            failures.append(key)
+            continue
+        cur = current[key]
+        if lower_is_better(key):
+            bad = cur > base * (1.0 + tol / 100.0)
+        else:
+            bad = cur < base * (1.0 - tol / 100.0)
+        status = "REGRESSION" if bad else "ok"
+        print("%-42s %10.3f %10.3f %8.0f  %s" % (key, base, cur, tol, status))
+        if bad:
+            failures.append(key)
+
+    if failures:
+        print("\nFAIL: %d metric(s) regressed beyond tolerance: %s"
+              % (len(failures), ", ".join(failures)))
+        print("(runner variance? re-run, regenerate the baseline with "
+              "--write-baseline, or push with [bench-skip] in the commit "
+              "message)")
+        sys.exit(1)
+    print("\nOK: all gated metrics within tolerance.")
+
+
+if __name__ == "__main__":
+    main()

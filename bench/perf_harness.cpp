@@ -1,0 +1,339 @@
+// perf_harness: the repo's perf telemetry source of truth.
+//
+// Times (a) the raw-word kernels and the blocked boolean product against
+// naive references, (b) BroadcastSim round throughput, and (c) the
+// end-to-end thm31 portfolio sweep in legacy-allocation mode vs the
+// scratch-arena mode, then emits machine-readable JSON:
+//
+//   BENCH_kernels.json — per-kernel ns/op and GiB/s
+//   BENCH_sweep.json   — portfolio sweep wall time, legacy vs arena, and
+//                        the arena speedup factor
+//
+// CI's bench-smoke job runs `perf_harness --quick --csv=...`, uploads the
+// JSONs as artifacts, and gates on bench/baseline.json via
+// bench/check_bench_regression.py (see bench/README.md for the schema).
+//
+// Flags (on top of the shared driver's --sizes/--seed/--jobs/--csv):
+//   --quick        CI mode: smaller sweep size and shorter kernel reps
+//   --out=DIR      directory for the BENCH_*.json files (default ".")
+//   --sweep-n=N    portfolio sweep size (default 256; 96 with --quick)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/driver.h"
+#include "src/adversary/adaptive.h"
+#include "src/adversary/portfolio.h"
+#include "src/graph/bitmatrix.h"
+#include "src/sim/broadcast_sim.h"
+#include "src/support/bitset.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One timed kernel measurement.
+struct KernelResult {
+  std::string name;
+  std::size_t bits = 0;    // operand width in bits (0 = n/a)
+  std::uint64_t reps = 0;  // operations timed
+  double nsPerOp = 0.0;
+  double gibPerS = 0.0;  // words touched per op * reps / time (0 = n/a)
+};
+
+/// Runs `op` (one operation per call) until ~minSeconds elapsed, in
+/// batches, and returns (reps, seconds). `sink` defeats dead-code elim.
+template <typename Op>
+std::pair<std::uint64_t, double> timeLoop(double minSeconds, Op&& op) {
+  std::uint64_t reps = 0;
+  std::uint64_t batch = 64;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  while (elapsed < minSeconds) {
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    reps += batch;
+    elapsed = secondsSince(start);
+    if (batch < (std::uint64_t{1} << 20)) batch *= 2;
+  }
+  return {reps, elapsed};
+}
+
+DynBitset randomBitset(std::size_t bits, double density, Rng& rng) {
+  DynBitset b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.uniformReal() < density) b.set(i);
+  }
+  return b;
+}
+
+std::uint64_t volatile gSink = 0;  // keeps results observable
+void consume(std::uint64_t v) { gSink = gSink + v; }
+
+// GiB/s accounts bytes actually moved per word so kernels are comparable:
+// orAssign/orCount read src, read dst, write dst (24 B/word);
+// intersectAny reads both operands (16 B/word).
+constexpr double kBytesPerWordRmw = 24.0;
+constexpr double kBytesPerWordRead2 = 16.0;
+
+KernelResult benchOrAssign(std::size_t bits, double minSeconds, Rng& rng) {
+  DynBitset dst = randomBitset(bits, 0.3, rng);
+  const DynBitset src = randomBitset(bits, 0.3, rng);
+  const std::size_t nwords = dst.wordCount();
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    bitword::orAssign(dst.wordData(), src.wordData(), nwords);
+    consume(dst.wordData()[0]);
+  });
+  KernelResult r{"orAssign", bits, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  r.gibPerS = static_cast<double>(reps) * static_cast<double>(nwords) *
+              kBytesPerWordRmw / secs / (1024.0 * 1024.0 * 1024.0);
+  return r;
+}
+
+KernelResult benchOrCount(std::size_t bits, double minSeconds, Rng& rng) {
+  DynBitset dst = randomBitset(bits, 0.3, rng);
+  const DynBitset src = randomBitset(bits, 0.3, rng);
+  const std::size_t nwords = dst.wordCount();
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    consume(bitword::orCount(dst.wordData(), src.wordData(), nwords));
+  });
+  KernelResult r{"orCount", bits, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  r.gibPerS = static_cast<double>(reps) * static_cast<double>(nwords) *
+              kBytesPerWordRmw / secs / (1024.0 * 1024.0 * 1024.0);
+  return r;
+}
+
+KernelResult benchIntersectAny(std::size_t bits, double minSeconds,
+                               Rng& rng) {
+  // Disjoint operands: the worst case, no early exit until the last word.
+  DynBitset a(bits);
+  DynBitset b(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (rng.uniformReal() < 0.5) {
+      a.set(i);
+    } else {
+      b.set(i);
+    }
+  }
+  const std::size_t nwords = a.wordCount();
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    consume(bitword::intersectAny(a.wordData(), b.wordData(), nwords) ? 1 : 0);
+  });
+  KernelResult r{"intersectAny", bits, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  r.gibPerS = static_cast<double>(reps) * static_cast<double>(nwords) *
+              kBytesPerWordRead2 / secs / (1024.0 * 1024.0 * 1024.0);
+  return r;
+}
+
+/// The pre-rewrite textbook product (row-gather via findNext), kept here
+/// as the blocked kernel's reference and A/B partner.
+BitMatrix productNaive(const BitMatrix& a, const BitMatrix& b) {
+  const std::size_t n = a.dim();
+  BitMatrix out(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    const DynBitset& aRow = a.row(x);
+    for (std::size_t z = aRow.findFirst(); z < n; z = aRow.findNext(z + 1)) {
+      out.row(x).orWith(b.row(z));
+    }
+  }
+  return out;
+}
+
+BitMatrix randomMatrix(std::size_t n, double density, Rng& rng) {
+  BitMatrix m(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      if (x == y || rng.uniformReal() < density) m.set(x, y);
+    }
+  }
+  return m;
+}
+
+std::vector<KernelResult> benchProduct(std::size_t n, double minSeconds,
+                                       Rng& rng) {
+  const BitMatrix a = randomMatrix(n, 0.05, rng);
+  const BitMatrix b = randomMatrix(n, 0.05, rng);
+  std::vector<KernelResult> out;
+  {
+    auto [reps, secs] = timeLoop(minSeconds, [&] {
+      const BitMatrix p = productNaive(a, b);
+      consume(p.row(0).words()[0]);
+    });
+    KernelResult r{"productNaive", n, reps, 0.0, 0.0};
+    r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+    out.push_back(r);
+  }
+  {
+    auto [reps, secs] = timeLoop(minSeconds, [&] {
+      const BitMatrix p = a.productBlocked(b);
+      consume(p.row(0).words()[0]);
+    });
+    KernelResult r{"productBlocked", n, reps, 0.0, 0.0};
+    r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+    out.push_back(r);
+  }
+  return out;
+}
+
+KernelResult benchSimRound(std::size_t n, double minSeconds, Rng& rng) {
+  // A pool of random trees applied cyclically; each op = one full round
+  // (the O(n²/64) heard-of recurrence + incremental completion refresh).
+  std::vector<RootedTree> trees;
+  for (int i = 0; i < 32; ++i) trees.push_back(randomRootedTree(n, rng));
+  BroadcastSim sim(n);
+  std::size_t next = 0;
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    sim.applyTree(trees[next]);
+    next = (next + 1) % trees.size();
+    if (sim.gossipDone()) sim.reset();
+    consume(sim.heardCount(0));
+  });
+  KernelResult r{"simApplyTree", n, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  return r;
+}
+
+/// End-to-end portfolio sweep timing in one eval mode. Returns wall ms.
+double timePortfolioSweep(std::size_t n, std::uint64_t seed, bool legacy,
+                          std::size_t* bestRounds) {
+  setLegacyEvalMode(legacy);
+  const auto start = Clock::now();
+  const PortfolioResult result = runPortfolio(n, seed);
+  const double ms = secondsSince(start) * 1e3;
+  setLegacyEvalMode(false);
+  if (bestRounds != nullptr) *bestRounds = result.bestRounds;
+  return ms;
+}
+
+void writeKernelsJson(const std::string& path,
+                      const std::vector<KernelResult>& kernels, bool quick,
+                      std::size_t jobs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << path << '\n';
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"dynbcast-bench-kernels/1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n  \"jobs\": %zu,\n",
+               quick ? "true" : "false", jobs);
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const KernelResult& k = kernels[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"bits\": %zu, \"reps\": %llu, "
+                 "\"ns_per_op\": %.4f, \"gib_per_s\": %.4f}%s\n",
+                 k.name.c_str(), k.bits,
+                 static_cast<unsigned long long>(k.reps), k.nsPerOp,
+                 k.gibPerS, i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::cout << "wrote " << path << '\n';
+}
+
+void writeSweepJson(const std::string& path, std::size_t n,
+                    std::uint64_t seed, bool quick, double legacyMs,
+                    double arenaMs, std::size_t bestRounds,
+                    double productSpeedup, std::size_t productN) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::cerr << "cannot write " << path << '\n';
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"dynbcast-bench-sweep/1\",\n");
+  std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
+  std::fprintf(f, "  \"n\": %zu,\n  \"seed\": %llu,\n", n,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(f, "  \"portfolio_legacy_ms\": %.3f,\n", legacyMs);
+  std::fprintf(f, "  \"portfolio_arena_ms\": %.3f,\n", arenaMs);
+  std::fprintf(f, "  \"arena_speedup\": %.4f,\n", legacyMs / arenaMs);
+  std::fprintf(f, "  \"product_blocked_speedup\": %.4f,\n", productSpeedup);
+  std::fprintf(f, "  \"product_n\": %zu,\n", productN);
+  std::fprintf(f, "  \"best_rounds\": %zu\n}\n", bestRounds);
+  std::fclose(f);
+  std::cout << "wrote " << path << '\n';
+}
+
+}  // namespace
+}  // namespace dynbcast
+
+int main(int argc, char** argv) {
+  using namespace dynbcast;
+  BenchDriver driver(argc, argv, "256", 1);
+  const bool quick = driver.options().getBool("quick", false);
+  const std::string outDir = driver.options().getString("out", ".");
+  const std::size_t sweepN =
+      driver.options().getUInt("sweep-n", quick ? 96 : 256);
+  const double minSeconds = quick ? 0.05 : 0.25;
+
+  driver.printHeader("PERF — kernel throughput + portfolio sweep telemetry");
+  Rng rng(driver.seed());
+
+  // --- kernels ---------------------------------------------------------
+  std::vector<KernelResult> kernels;
+  const std::vector<std::size_t> bitSizes =
+      quick ? std::vector<std::size_t>{256, 1024}
+            : std::vector<std::size_t>{256, 1024, 4096};
+  for (const std::size_t bits : bitSizes) {
+    kernels.push_back(benchOrAssign(bits, minSeconds, rng));
+    kernels.push_back(benchOrCount(bits, minSeconds, rng));
+    kernels.push_back(benchIntersectAny(bits, minSeconds, rng));
+  }
+  const std::size_t productN = quick ? 128 : 256;
+  const std::vector<KernelResult> products =
+      benchProduct(productN, minSeconds, rng);
+  kernels.insert(kernels.end(), products.begin(), products.end());
+  const double productSpeedup =
+      products[0].nsPerOp / products[1].nsPerOp;  // naive / blocked
+  kernels.push_back(benchSimRound(sweepN, minSeconds, rng));
+
+  TextTable kernelTable({"kernel", "bits/n", "reps", "ns/op", "GiB/s"});
+  for (const KernelResult& k : kernels) {
+    kernelTable.row()
+        .add(k.name)
+        .add(static_cast<std::uint64_t>(k.bits))
+        .add(static_cast<std::uint64_t>(k.reps))
+        .add(k.nsPerOp, 2)
+        .add(k.gibPerS, 2);
+  }
+
+  // --- end-to-end portfolio sweep: legacy allocations vs scratch arena -
+  std::size_t bestRounds = 0;
+  const double legacyMs =
+      timePortfolioSweep(sweepN, driver.seed(), /*legacy=*/true, nullptr);
+  const double arenaMs =
+      timePortfolioSweep(sweepN, driver.seed(), /*legacy=*/false,
+                         &bestRounds);
+  TextTable sweepTable({"n", "legacy ms", "arena ms", "speedup", "best t*"});
+  sweepTable.row()
+      .add(static_cast<std::uint64_t>(sweepN))
+      .add(legacyMs, 1)
+      .add(arenaMs, 1)
+      .add(legacyMs / arenaMs, 2)
+      .add(static_cast<std::uint64_t>(bestRounds));
+
+  // Only the kernel table goes through emit (and thus --csv); the sweep
+  // numbers live in BENCH_sweep.json, which is the machine-readable copy.
+  driver.emit(kernelTable);
+  std::cout << '\n' << sweepTable.render() << '\n';
+
+  writeKernelsJson(outDir + "/BENCH_kernels.json", kernels, quick,
+                   driver.jobs());
+  writeSweepJson(outDir + "/BENCH_sweep.json", sweepN, driver.seed(), quick,
+                 legacyMs, arenaMs, bestRounds, productSpeedup, productN);
+  return 0;
+}

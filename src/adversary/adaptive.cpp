@@ -1,6 +1,7 @@
 #include "src/adversary/adaptive.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -9,6 +10,20 @@
 #include "src/tree/generators.h"
 
 namespace dynbcast {
+
+namespace {
+
+std::atomic<bool> gLegacyEvalMode{false};
+
+}  // namespace
+
+void setLegacyEvalMode(bool enabled) noexcept {
+  gLegacyEvalMode.store(enabled, std::memory_order_relaxed);
+}
+
+bool legacyEvalMode() noexcept {
+  return gLegacyEvalMode.load(std::memory_order_relaxed);
+}
 
 std::vector<std::size_t> coverageCounts(const BroadcastSim& state) {
   const std::size_t n = state.processCount();
@@ -22,31 +37,33 @@ std::vector<std::size_t> coverageCounts(const BroadcastSim& state) {
   return coverage;
 }
 
-DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
-                             const std::vector<std::size_t>& coverage,
-                             const RootedTree& tree,
-                             std::vector<std::size_t>* coverageOut) {
+namespace {
+
+/// The historical allocating implementation, kept verbatim as the perf
+/// harness's A/B reference and the tests' oracle. Fresh heard copy, fresh
+/// coverage vector, fresh per-node delta bitsets — the exact churn the
+/// scratch arena eliminates. Results land in `scratch` so both paths have
+/// the same contract.
+DelayScore evaluateCandidateLegacy(const std::vector<DynBitset>& heard,
+                                   const std::vector<std::size_t>& coverage,
+                                   const RootedTree& tree,
+                                   EvalScratch& scratch) {
   const std::size_t n = heard.size();
-  DYNBCAST_ASSERT(tree.size() == n && coverage.size() == n);
   std::vector<std::size_t> cov = coverage;
   DelayScore score;
-  // Walk the tree in reverse BFS exactly like the simulator would, but
-  // only materialize the deltas: for each node, the processes it newly
-  // learns about bump their coverage. The work is proportional to the
-  // number of new product-graph edges, which a good adversary keeps low.
-  std::vector<DynBitset> scratch = heard;
+  std::vector<DynBitset> work = heard;
   const std::vector<std::size_t> order = tree.bfsOrder();
   for (std::size_t i = order.size(); i-- > 0;) {
     const std::size_t y = order[i];
     const std::size_t p = tree.parent(y);
     if (p == y) continue;
-    DynBitset delta = scratch[p];
-    delta.subtract(scratch[y]);
+    DynBitset delta = work[p];
+    delta.subtract(work[y]);
     for (std::size_t x = delta.findFirst(); x < n; x = delta.findNext(x + 1)) {
       ++cov[x];
       ++score.newEdges;
     }
-    scratch[y].orWith(scratch[p]);
+    work[y].orWith(work[p]);
   }
   for (const std::size_t c : cov) {
     score.maxCoverage = std::max(score.maxCoverage, c);
@@ -54,7 +71,59 @@ DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
     score.potential +=
         std::exp2(static_cast<double>(std::min<std::size_t>(c, 50)));
   }
-  if (coverageOut != nullptr) *coverageOut = std::move(cov);
+  scratch.heard = std::move(work);
+  scratch.coverage = std::move(cov);
+  return score;
+}
+
+}  // namespace
+
+DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
+                             const std::vector<std::size_t>& coverage,
+                             const RootedTree& tree,
+                             std::vector<std::size_t>* coverageOut) {
+  EvalScratch scratch;
+  const DelayScore score = evaluateCandidate(heard, coverage, tree, scratch);
+  if (coverageOut != nullptr) *coverageOut = std::move(scratch.coverage);
+  return score;
+}
+
+DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
+                             const std::vector<std::size_t>& coverage,
+                             const RootedTree& tree, EvalScratch& scratch) {
+  const std::size_t n = heard.size();
+  DYNBCAST_ASSERT(tree.size() == n && coverage.size() == n);
+  if (legacyEvalMode()) {
+    return evaluateCandidateLegacy(heard, coverage, tree, scratch);
+  }
+  // Walk the tree in reverse BFS exactly like the simulator would, but
+  // only materialize the deltas: for each node, the processes it newly
+  // learns about bump their coverage. The delta is iterated straight off
+  // the raw words ((parent & ~child) per word, ascending bits — the same
+  // order the old findNext loop produced), so no temporary bitset exists.
+  scratch.assignHeard(heard);
+  scratch.coverage.assign(coverage.begin(), coverage.end());
+  DelayScore score;
+  tree.bfsOrderInto(scratch.order);
+  const std::size_t nwords = n == 0 ? 0 : heard[0].wordCount();
+  for (std::size_t i = scratch.order.size(); i-- > 0;) {
+    const std::size_t y = scratch.order[i];
+    const std::size_t p = tree.parent(y);
+    if (p == y) continue;
+    bitword::forEachInDifference(scratch.heard[p].wordData(),
+                                 scratch.heard[y].wordData(), nwords,
+                                 [&](std::size_t x) {
+                                   ++scratch.coverage[x];
+                                   ++score.newEdges;
+                                 });
+    scratch.heard[y].orWith(scratch.heard[p]);
+  }
+  for (const std::size_t c : scratch.coverage) {
+    score.maxCoverage = std::max(score.maxCoverage, c);
+    if (c == n) score.finishes = true;
+    score.potential +=
+        std::exp2(static_cast<double>(std::min<std::size_t>(c, 50)));
+  }
   return score;
 }
 
@@ -101,13 +170,25 @@ RootedTree buildDamageTreeImpl(const BroadcastSim& state,
       weight[x] *= 1.0 + noiseAmplitude * rng->uniformReal();
     }
   }
+  // Prim evaluates O(n²) candidate edges; the allocating delta bitset the
+  // legacy path builds per edge was the single hottest allocation site in
+  // the whole portfolio. The kernel iterates (p & ~y) off the raw words in
+  // the same ascending order, so the floating-point sum is identical.
+  const std::size_t nwords = state.heardBy(0).wordCount();
+  const bool legacy = legacyEvalMode();
   const auto damage = [&](std::size_t p, std::size_t y) {
-    DynBitset delta = state.heardBy(p);
-    delta.subtract(state.heardBy(y));
     double d = 0.0;
-    for (std::size_t x = delta.findFirst(); x < n;
-         x = delta.findNext(x + 1)) {
-      d += weight[x];
+    if (legacy) {
+      DynBitset delta = state.heardBy(p);
+      delta.subtract(state.heardBy(y));
+      for (std::size_t x = delta.findFirst(); x < n;
+           x = delta.findNext(x + 1)) {
+        d += weight[x];
+      }
+    } else {
+      bitword::forEachInDifference(state.heardBy(p).wordData(),
+                                   state.heardBy(y).wordData(), nwords,
+                                   [&](std::size_t x) { d += weight[x]; });
     }
     return d;
   };
@@ -234,7 +315,7 @@ RootedTree HeardOrderPathAdversary::nextTree(const BroadcastSim& state) {
   std::vector<std::size_t> order = identityOrder(n_);
   std::vector<std::size_t> heardSize(n_);
   for (std::size_t y = 0; y < n_; ++y) {
-    heardSize[y] = state.heardBy(y).count();
+    heardSize[y] = state.heardCount(y);
   }
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
@@ -326,7 +407,7 @@ RootedTree GreedyDelayAdversary::nextTree(const BroadcastSim& state) {
     if (config_.damageTreeRoots >= 2) {
       std::size_t maxHeard = 0;
       for (std::size_t y = 1; y < n_; ++y) {
-        if (heard[y].count() > heard[maxHeard].count()) maxHeard = y;
+        if (state.heardCount(y) > state.heardCount(maxHeard)) maxHeard = y;
       }
       roots.push_back(maxHeard);
     }
@@ -339,20 +420,23 @@ RootedTree GreedyDelayAdversary::nextTree(const BroadcastSim& state) {
   }
 
   // Evaluate everything; prefer path candidates on ties (stability).
+  // All evaluations share the adversary's scratch arena — zero
+  // allocations per candidate once the buffers are warm.
   bool bestIsPath = true;
   std::size_t bestIdx = 0;
   DelayScore bestScore =
-      evaluateCandidate(heard, coverage, makePath(orders[0]));
+      evaluateCandidate(heard, coverage, makePath(orders[0]), scratch_);
   for (std::size_t i = 1; i < orders.size(); ++i) {
-    const DelayScore s = evaluateCandidate(heard, coverage,
-                                           makePath(orders[i]));
+    const DelayScore s =
+        evaluateCandidate(heard, coverage, makePath(orders[i]), scratch_);
     if (s < bestScore) {
       bestScore = s;
       bestIdx = i;
     }
   }
   for (std::size_t i = 0; i < extraTrees.size(); ++i) {
-    const DelayScore s = evaluateCandidate(heard, coverage, extraTrees[i]);
+    const DelayScore s =
+        evaluateCandidate(heard, coverage, extraTrees[i], scratch_);
     if (s < bestScore) {
       bestScore = s;
       bestIdx = i;

@@ -30,9 +30,19 @@
 #include <vector>
 
 #include "src/adversary/adversary.h"
+#include "src/support/eval_scratch.h"
 #include "src/support/rng.h"
 
 namespace dynbcast {
+
+/// Perf A/B switch: when true, candidate evaluation and damage-tree
+/// construction run the historical allocating implementations instead of
+/// the scratch-arena word kernels. Results are bit-identical either way
+/// (the tests assert it); the perf harness flips this to measure the
+/// arena's speedup. Do not toggle while adversaries are running on other
+/// threads.
+void setLegacyEvalMode(bool enabled) noexcept;
+[[nodiscard]] bool legacyEvalMode() noexcept;
 
 /// Per-process coverage: coverage[x] = |{y : x ∈ Heard(y)}|. Broadcast is
 /// done exactly when some coverage[x] == n.
@@ -70,10 +80,23 @@ struct DelayScore {
 /// mutating it. `coverage` must equal coverageCounts of the same state.
 /// When `coverageOut` is non-null it receives the post-round coverage
 /// vector (used by search adversaries to avoid recomputation).
+///
+/// Convenience wrapper over the scratch overload below; allocates a fresh
+/// scratch per call, so hot loops should hold an EvalScratch instead.
 [[nodiscard]] DelayScore evaluateCandidate(
     const std::vector<DynBitset>& heard,
     const std::vector<std::size_t>& coverage, const RootedTree& tree,
     std::vector<std::size_t>* coverageOut = nullptr);
+
+/// Allocation-free evaluation: all working state lives in `scratch`,
+/// which is reused across calls. On return, scratch.heard holds the
+/// candidate's post-round heard matrix and scratch.coverage its
+/// post-round coverage — callers that keep a successor state (beam,
+/// lookahead) copy from there instead of re-applying the tree.
+[[nodiscard]] DelayScore evaluateCandidate(
+    const std::vector<DynBitset>& heard,
+    const std::vector<std::size_t>& coverage, const RootedTree& tree,
+    EvalScratch& scratch);
 
 /// Path adversary that freezes the top-`depth` coverage leaders with
 /// nested knower/non-knower blocks, applied as a STABLE partition of the
@@ -159,6 +182,7 @@ class GreedyDelayAdversary final : public Adversary {
   Rng rng_;
   GreedyDelayConfig config_;
   std::vector<std::size_t> order_;
+  EvalScratch scratch_;  // reused across all candidate evaluations
 };
 
 /// Builds the stable freeze ordering over `baseOrder`: every process that

@@ -122,6 +122,11 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
   levels.push_back({std::move(initial)});
 
   BeamResult result;
+  // One scratch arena serves every candidate evaluation in the search:
+  // rejected candidates (the vast majority) no longer allocate anything,
+  // and survivors copy their post-move state straight out of the scratch
+  // instead of re-applying the tree to a fresh matrix.
+  EvalScratch scratch;
   // The final move of any lineage completes broadcast, so the achieved
   // rounds = (levels survived) + 1. Track the last level with survivors.
   while (levels.back().size() > 0 && levels.size() <= cap) {
@@ -132,16 +137,13 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
       const BeamState& state = current[si];
       for (RootedTree& move : movesFor(state, rng, config)) {
         ++result.statesExpanded;
-        std::vector<std::size_t> nextCoverage;
-        const DelayScore score = evaluateCandidate(
-            state.heard, state.coverage, move, &nextCoverage);
+        const DelayScore score =
+            evaluateCandidate(state.heard, state.coverage, move, scratch);
         if (score.finishes) continue;  // dead lineage beyond this move
-        std::vector<DynBitset> nextHeard = state.heard;
-        BroadcastSim::applyTreeTo(nextHeard, move);
-        if (!seen.insert(hashHeard(nextHeard)).second) continue;
+        if (!seen.insert(hashHeard(scratch.heard)).second) continue;
         BeamState next;
-        next.heard = std::move(nextHeard);
-        next.coverage = std::move(nextCoverage);
+        next.heard = scratch.heard;
+        next.coverage = scratch.coverage;
         next.potential = score.potential;
         next.parentIndex = si;
         next.move = std::move(move);
@@ -201,7 +203,7 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
       RootedTree move = attempt == 0 ? makeStar(n, 0)
                                      : randomRootedTree(n, finisher);
       const DelayScore s =
-          evaluateCandidate(last.heard, last.coverage, move);
+          evaluateCandidate(last.heard, last.coverage, move, scratch);
       if (s.finishes) {
         witness[survivedLevels] = std::move(move);
         placed = true;

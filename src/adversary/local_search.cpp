@@ -61,7 +61,8 @@ RootedTree LocalSearchPathAdversary::nextTree(const BroadcastSim& state) {
   // Start from the stable freeze of the carried order, then hill-climb.
   std::vector<std::size_t> order = freezeOrdering(
       state, leadersByCoverage(coverage, config_.freezeDepth), order_);
-  DelayScore best = evaluateCandidate(heard, coverage, makePath(order));
+  DelayScore best =
+      evaluateCandidate(heard, coverage, makePath(order), scratch_);
 
   for (std::size_t it = 0; it < config_.iterations && n_ >= 2; ++it) {
     std::vector<std::size_t> trial = order;
@@ -75,7 +76,8 @@ RootedTree LocalSearchPathAdversary::nextTree(const BroadcastSim& state) {
     } else {
       std::swap(trial[i], trial[j]);
     }
-    const DelayScore s = evaluateCandidate(heard, coverage, makePath(trial));
+    const DelayScore s =
+        evaluateCandidate(heard, coverage, makePath(trial), scratch_);
     if (s < best) {
       best = s;
       order = std::move(trial);

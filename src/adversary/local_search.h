@@ -39,6 +39,7 @@ class LocalSearchPathAdversary final : public Adversary {
   Rng rng_;
   LocalSearchConfig config_;
   std::vector<std::size_t> order_;  // carried across rounds for stability
+  EvalScratch scratch_;             // reused across all evaluations
 };
 
 }  // namespace dynbcast

@@ -52,7 +52,7 @@ std::vector<RootedTree> generateCandidates(
   if (config.damageRoots >= 2 && n >= 2) {
     std::size_t maxHeard = 0;
     for (std::size_t y = 1; y < n; ++y) {
-      if (sim.heardBy(y).count() > sim.heardBy(maxHeard).count()) {
+      if (sim.heardCount(y) > sim.heardCount(maxHeard)) {
         maxHeard = y;
       }
     }
@@ -77,11 +77,15 @@ bool betterForAdversary(const Eval& a, const Eval& b) {
   return a.potential < b.potential;
 }
 
+/// One EvalScratch per recursion level: level d's post-move state must
+/// stay alive as the heard/coverage input of level d+1 while that level
+/// evaluates its own candidates into the next slot.
 Eval search(const std::vector<DynBitset>& heard,
             const std::vector<std::size_t>& coverage,
             const std::vector<std::size_t>& baseOrder, Rng& rng,
             const LookaheadConfig& config, std::size_t depth,
-            RootedTree* chosenOut) {
+            RootedTree* chosenOut, std::vector<EvalScratch>& arena,
+            std::size_t level) {
   const BroadcastSim sim =
       BroadcastSim::fromHeard(std::vector<DynBitset>(heard));
   const std::vector<RootedTree> candidates =
@@ -90,18 +94,19 @@ Eval search(const std::vector<DynBitset>& heard,
   Eval best;  // survived = 0, potential = inf: "every move finishes"
   const RootedTree* bestTree = &candidates.front();
   for (const RootedTree& candidate : candidates) {
-    std::vector<std::size_t> nextCoverage;
+    EvalScratch& scratch = arena[level];
     const DelayScore score =
-        evaluateCandidate(heard, coverage, candidate, &nextCoverage);
+        evaluateCandidate(heard, coverage, candidate, scratch);
     Eval eval;
     if (score.finishes || depth == 1) {
       eval.survived = score.finishes ? 0 : 1;
       eval.potential = score.potential;
     } else {
-      std::vector<DynBitset> nextHeard = heard;
-      BroadcastSim::applyTreeTo(nextHeard, candidate);
-      const Eval sub = search(nextHeard, nextCoverage, baseOrder, rng,
-                              config, depth - 1, nullptr);
+      // scratch.heard/coverage hold the candidate's post-move state; the
+      // recursive call reads them while using arena[level + 1].
+      const Eval sub =
+          search(scratch.heard, scratch.coverage, baseOrder, rng, config,
+                 depth - 1, nullptr, arena, level + 1);
       eval.survived = 1 + sub.survived;
       eval.potential = sub.potential;
     }
@@ -134,8 +139,9 @@ RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
   DYNBCAST_ASSERT(state.processCount() == n_);
   const std::vector<std::size_t> coverage = coverageCounts(state);
   RootedTree chosen = makePath(order_);
+  arena_.resize(config_.depth);
   (void)search(state.heardMatrix(), coverage, order_, rng_, config_,
-               config_.depth, &chosen);
+               config_.depth, &chosen, arena_, 0);
   // Carry path stability when the chosen move is a path.
   if (chosen.leafCount() == 1) {
     order_ = chosen.bfsOrder();

@@ -45,6 +45,8 @@ class LookaheadDelayAdversary final : public Adversary {
   Rng rng_;
   LookaheadConfig config_;
   std::vector<std::size_t> order_;
+  /// One scratch per search depth, reused across rounds (see search()).
+  std::vector<EvalScratch> arena_;
 };
 
 }  // namespace dynbcast

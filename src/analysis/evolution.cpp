@@ -10,7 +10,7 @@ std::size_t potentialOf(const BroadcastSim& sim) {
   const std::size_t n = sim.processCount();
   std::size_t phi = 0;
   for (std::size_t y = 0; y < n; ++y) {
-    phi += n - sim.heardBy(y).count();
+    phi += n - sim.heardCount(y);
   }
   return phi;
 }
@@ -28,7 +28,7 @@ EvolutionSummary analyzeTrace(const SimTrace& trace) {
     sim.applyTree(tree);
     summary.potential.push_back(potentialOf(sim));
     for (std::size_t y = 0; y < n; ++y) {
-      if (summary.heardAllAt[y] == 0 && sim.heardBy(y).all()) {
+      if (summary.heardAllAt[y] == 0 && sim.heardCount(y) == n) {
         summary.heardAllAt[y] = sim.round();
       }
     }

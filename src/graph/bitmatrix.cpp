@@ -1,5 +1,6 @@
 #include "src/graph/bitmatrix.h"
 
+#include <bit>
 #include <ostream>
 
 #include "src/support/assert.h"
@@ -30,13 +31,28 @@ DynBitset BitMatrix::column(std::size_t y) const {
 }
 
 BitMatrix BitMatrix::product(const BitMatrix& other) const {
+  return productBlocked(other);
+}
+
+BitMatrix BitMatrix::productBlocked(const BitMatrix& other) const {
   DYNBCAST_ASSERT(n_ == other.n_);
   BitMatrix out(n_);
-  for (std::size_t x = 0; x < n_; ++x) {
-    DynBitset& outRow = out.rows_[x];
-    const DynBitset& aRow = rows_[x];
-    for (std::size_t z = aRow.findFirst(); z < n_; z = aRow.findNext(z + 1)) {
-      outRow.orWith(other.rows_[z]);
+  if (n_ == 0) return out;
+  const std::size_t nwords = rows_[0].wordCount();
+  // z-block outer loop: the 64 rows other.rows_[zw*64 .. zw*64+63] are
+  // reused by every x before the block is evicted. Within a block, set
+  // bits of the left word select which rows to OR in.
+  for (std::size_t zw = 0; zw < nwords; ++zw) {
+    const std::size_t zBase = zw * DynBitset::kBits;
+    for (std::size_t x = 0; x < n_; ++x) {
+      std::uint64_t w = rows_[x].words()[zw];
+      std::uint64_t* outRow = out.rows_[x].wordData();
+      while (w != 0) {
+        const auto z =
+            zBase + static_cast<std::size_t>(std::countr_zero(w));
+        w &= w - 1;
+        bitword::orAssign(outRow, other.rows_[z].wordData(), nwords);
+      }
     }
   }
   return out;

@@ -51,8 +51,16 @@ class BitMatrix {
   /// Column y materialized as a bitset: the in-neighborhood of y.
   [[nodiscard]] DynBitset column(std::size_t y) const;
 
-  /// Boolean matrix product: this ∘ other (Definition 2.1).
+  /// Boolean matrix product: this ∘ other (Definition 2.1). Dispatches to
+  /// the blocked kernel below; the result is identical to the textbook
+  /// row-gather loop.
   [[nodiscard]] BitMatrix product(const BitMatrix& other) const;
+
+  /// Cache-blocked boolean product: `other`'s rows are consumed in blocks
+  /// of 64 (one left-operand word per row), so each block stays hot in
+  /// cache while all n output rows accumulate into it — the word-level
+  /// analogue of tiling a dense matmul. Same result as product().
+  [[nodiscard]] BitMatrix productBlocked(const BitMatrix& other) const;
 
   /// In-place union of entries.
   void orWith(const BitMatrix& other);

@@ -5,7 +5,11 @@
 namespace dynbcast {
 
 BroadcastSim::BroadcastSim(std::size_t n)
-    : n_(n), heard_(n, DynBitset(n)), scratch_(n, DynBitset(n)) {
+    : n_(n),
+      heard_(n, DynBitset(n)),
+      scratch_(n, DynBitset(n)),
+      common_(n),
+      rowCount_(n, 0) {
   DYNBCAST_ASSERT(n > 0);
   reset();
 }
@@ -20,6 +24,7 @@ BroadcastSim BroadcastSim::fromHeard(std::vector<DynBitset> heard,
   }
   sim.heard_ = std::move(heard);
   sim.round_ = round;
+  sim.rebuildCompletionState();
   return sim;
 }
 
@@ -29,11 +34,45 @@ void BroadcastSim::reset() {
     heard_[y].clear();
     heard_[y].set(y);
   }
+  rebuildCompletionState();
+}
+
+void BroadcastSim::rebuildCompletionState() {
+  common_.setAll();
+  commonCount_ = n_;
+  fullRows_ = 0;
+  const std::size_t nwords = common_.wordCount();
+  for (std::size_t y = 0; y < n_; ++y) {
+    rowCount_[y] = heard_[y].count();
+    if (rowCount_[y] == n_) ++fullRows_;
+    commonCount_ = bitword::andAssignCount(common_.wordData(),
+                                           heard_[y].wordData(), nwords);
+  }
 }
 
 void BroadcastSim::applyTree(const RootedTree& tree) {
   DYNBCAST_ASSERT_MSG(tree.size() == n_, "tree size mismatch");
-  applyTreeTo(heard_, tree);
+  // One fused reverse-BFS pass: OR the parent row in, refresh the row's
+  // popcount, and rebuild the running intersection. Each node's row is
+  // mutated exactly once (at its own step), so intersecting it right
+  // after its update sees its final round-(t+1) value.
+  tree.bfsOrderInto(orderScratch_);
+  common_.setAll();
+  commonCount_ = n_;
+  const std::size_t nwords = common_.wordCount();
+  for (std::size_t i = orderScratch_.size(); i-- > 0;) {
+    const std::size_t y = orderScratch_[i];
+    const std::size_t p = tree.parent(y);
+    if (p != y) {
+      const std::size_t c = heard_[y].orCountWith(heard_[p]);
+      if (c != rowCount_[y]) {
+        rowCount_[y] = c;
+        if (c == n_) ++fullRows_;
+      }
+    }
+    commonCount_ = bitword::andAssignCount(common_.wordData(),
+                                           heard_[y].wordData(), nwords);
+  }
   ++round_;
 }
 
@@ -67,6 +106,9 @@ void BroadcastSim::applyGraph(const BitMatrix& g) {
   }
   heard_.swap(scratch_);
   ++round_;
+  // Arbitrary graphs can touch every row; recompute the completion state
+  // in one O(n²/64) pass (the same cost class as the round itself).
+  rebuildCompletionState();
 }
 
 BitMatrix BroadcastSim::reachMatrix() const {
@@ -78,21 +120,6 @@ BitMatrix BroadcastSim::reachMatrix() const {
     }
   }
   return reach;
-}
-
-DynBitset BroadcastSim::broadcasters() const {
-  DynBitset common = heard_[0];
-  for (std::size_t y = 1; y < n_; ++y) common.andWith(heard_[y]);
-  return common;
-}
-
-bool BroadcastSim::broadcastDone() const { return broadcasters().any(); }
-
-bool BroadcastSim::gossipDone() const {
-  for (const auto& h : heard_) {
-    if (!h.all()) return false;
-  }
-  return true;
 }
 
 RoundMetrics BroadcastSim::metrics() const {

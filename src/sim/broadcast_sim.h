@@ -11,6 +11,12 @@
 //
 // Broadcast is done when ⋂_y Heard(y) ≠ ∅ (some x heard by everyone);
 // gossip is done when every Heard(y) = [n].
+//
+// Completion tracking is INCREMENTAL: the simulator maintains the running
+// row-intersection ⋂_y Heard(y) and per-row popcounts alongside the
+// matrix, refreshed in the same fused pass that applies a round. done()
+// and coverage checks therefore cost O(n/64) or O(1) instead of
+// rescanning the whole O(n²/64) matrix every round.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +64,12 @@ class BroadcastSim {
     return heard_[y];
   }
 
+  /// |Heard(y)| from the incrementally maintained per-row popcounts —
+  /// O(1), never recounts the row.
+  [[nodiscard]] std::size_t heardCount(std::size_t y) const noexcept {
+    return rowCount_[y];
+  }
+
   /// The heard-of matrix (row y = Heard(y)); the transpose of G(t).
   [[nodiscard]] const std::vector<DynBitset>& heardMatrix() const noexcept {
     return heard_;
@@ -66,14 +78,24 @@ class BroadcastSim {
   /// The product graph G(t) itself (row x = who x has reached).
   [[nodiscard]] BitMatrix reachMatrix() const;
 
-  /// Set of processes heard by everyone: ⋂_y Heard(y).
-  [[nodiscard]] DynBitset broadcasters() const;
+  /// Set of processes heard by everyone: ⋂_y Heard(y). Maintained
+  /// incrementally; this is a reference to LIVE state — the next
+  /// applyTree/applyGraph/reset mutates it in place, so callers that
+  /// need a snapshot across rounds must copy it (pre-rewrite the method
+  /// returned a copy unconditionally).
+  [[nodiscard]] const DynBitset& broadcasters() const noexcept {
+    return common_;
+  }
 
   /// True when some process has been heard by everyone (t* reached).
-  [[nodiscard]] bool broadcastDone() const;
+  /// O(1): reads the popcount maintained by the fused intersection pass.
+  [[nodiscard]] bool broadcastDone() const noexcept {
+    return commonCount_ != 0;
+  }
 
-  /// True when everyone has heard of everyone (gossip complete).
-  [[nodiscard]] bool gossipDone() const;
+  /// True when everyone has heard of everyone (gossip complete). O(1):
+  /// reads the maintained full-row counter.
+  [[nodiscard]] bool gossipDone() const noexcept { return fullRows_ == n_; }
 
   [[nodiscard]] RoundMetrics metrics() const;
 
@@ -81,10 +103,23 @@ class BroadcastSim {
   void reset();
 
  private:
+  /// Recomputes common_/rowCount_/fullRows_ from heard_ (used on reset,
+  /// fromHeard, and applyGraph, where rows change arbitrarily).
+  void rebuildCompletionState();
+
   std::size_t n_;
   std::size_t round_ = 0;
   std::vector<DynBitset> heard_;
   std::vector<DynBitset> scratch_;
+  // Incremental completion state (see file comment). Invariants after
+  // every public mutation: common_ == ⋂_y heard_[y],
+  // commonCount_ == common_.count(), rowCount_[y] == heard_[y].count(),
+  // fullRows_ == |{y : rowCount_[y]==n}|.
+  DynBitset common_;
+  std::size_t commonCount_ = 0;
+  std::vector<std::size_t> rowCount_;
+  std::size_t fullRows_ = 0;
+  std::vector<std::size_t> orderScratch_;  // reused BFS-order buffer
 };
 
 /// Outcome of a driven simulation run.

@@ -5,6 +5,30 @@
 
 namespace dynbcast {
 
+namespace bitword {
+
+std::size_t orCount(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t nwords) noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    dst[i] |= src[i];
+    c += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return c;
+}
+
+std::size_t andAssignCount(std::uint64_t* dst, const std::uint64_t* src,
+                           std::size_t nwords) noexcept {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    dst[i] &= src[i];
+    c += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return c;
+}
+
+}  // namespace bitword
+
 void DynBitset::setAll() noexcept {
   for (auto& w : words_) w = ~static_cast<std::uint64_t>(0);
   const std::size_t tail = size_ % kBits;
@@ -41,9 +65,7 @@ bool DynBitset::all() const noexcept {
 }
 
 void DynBitset::orWith(const DynBitset& other) noexcept {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
-  }
+  bitword::orAssign(words_.data(), other.words_.data(), words_.size());
 }
 
 void DynBitset::andWith(const DynBitset& other) noexcept {
@@ -59,10 +81,8 @@ void DynBitset::subtract(const DynBitset& other) noexcept {
 }
 
 bool DynBitset::intersects(const DynBitset& other) const noexcept {
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
+  return bitword::intersectAny(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 bool DynBitset::isSupersetOf(const DynBitset& other) const noexcept {

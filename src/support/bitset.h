@@ -11,6 +11,7 @@
 // predicates are plain word comparisons.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -19,6 +20,63 @@
 #include "src/support/assert.h"
 
 namespace dynbcast {
+
+/// Raw-word kernels shared by DynBitset, BitMatrix, and the simulator's
+/// hot loops. They operate on parallel arrays of 64-bit words and assume
+/// both operands honor the tail invariant (bits past the logical size are
+/// zero), so callers never need per-bit masking.
+///
+/// These exist as free functions (rather than DynBitset methods only) so
+/// the adversary evaluation kernels can fuse several passes — OR + popcount,
+/// AND + any — into one traversal without materializing temporaries.
+namespace bitword {
+
+/// dst |= src, word by word.
+inline void orAssign(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t nwords) noexcept {
+  for (std::size_t i = 0; i < nwords; ++i) dst[i] |= src[i];
+}
+
+/// Fused dst |= src + popcount(dst): one traversal instead of an OR pass
+/// followed by a count pass. Returns the number of set bits in dst after
+/// the OR.
+[[nodiscard]] std::size_t orCount(std::uint64_t* dst, const std::uint64_t* src,
+                                  std::size_t nwords) noexcept;
+
+/// True when (a & b) has any set bit; early-exits on the first hit.
+[[nodiscard]] inline bool intersectAny(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t nwords) noexcept {
+  for (std::size_t i = 0; i < nwords; ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+/// Fused dst &= src + popcount of the result: the simulator's
+/// incremental-completion pass intersects each updated row into the
+/// running ⋂_y Heard(y) with this, so the broadcaster count is known the
+/// moment the round ends.
+[[nodiscard]] std::size_t andAssignCount(std::uint64_t* dst,
+                                         const std::uint64_t* src,
+                                         std::size_t nwords) noexcept;
+
+/// Invokes fn(index) for every bit set in (a & ~b), ascending — the
+/// "delta iteration" of candidate evaluation, with no temporary bitset.
+template <typename Fn>
+void forEachInDifference(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t nwords, Fn&& fn) {
+  for (std::size_t wi = 0; wi < nwords; ++wi) {
+    std::uint64_t w = a[wi] & ~b[wi];
+    while (w != 0) {
+      const auto bit = static_cast<std::size_t>(std::countr_zero(w));
+      fn(wi * 64 + bit);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace bitword
 
 class DynBitset {
  public:
@@ -82,6 +140,13 @@ class DynBitset {
   /// In-place union. Precondition: other.size() == size().
   void orWith(const DynBitset& other) noexcept;
 
+  /// Fused in-place union + count of the result (single traversal).
+  /// Precondition: other.size() == size().
+  std::size_t orCountWith(const DynBitset& other) noexcept {
+    return bitword::orCount(words_.data(), other.words_.data(),
+                            words_.size());
+  }
+
   /// In-place intersection. Precondition: other.size() == size().
   void andWith(const DynBitset& other) noexcept;
 
@@ -122,6 +187,19 @@ class DynBitset {
   /// Raw word storage (read-only), for word-parallel algorithms.
   [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
     return words_;
+  }
+
+  /// Raw word pointers for the bitword kernels. Mutators must preserve
+  /// the tail invariant (all bits past size() stay zero); every kernel
+  /// above does, because both operands honor it already.
+  [[nodiscard]] const std::uint64_t* wordData() const noexcept {
+    return words_.data();
+  }
+  [[nodiscard]] std::uint64_t* wordData() noexcept { return words_.data(); }
+
+  /// Number of storage words (== words().size()).
+  [[nodiscard]] std::size_t wordCount() const noexcept {
+    return words_.size();
   }
 
   static constexpr std::size_t kBits = 64;

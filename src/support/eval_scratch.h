@@ -1,0 +1,42 @@
+// EvalScratch: reusable buffers for candidate-tree evaluation.
+//
+// Search adversaries (beam, greedy-delay, lookahead, local search)
+// evaluate thousands of candidate trees per round, and every evaluation
+// needs a writable copy of the n-row heard matrix plus a coverage vector.
+// Allocating those per candidate dominated the profile; an EvalScratch
+// owns them across evaluations, so steady-state evaluation never touches
+// the allocator (row assignment reuses each row's word storage once the
+// shapes match, which they do after the first call at a given n).
+//
+// Recursive searches (lookahead) keep one EvalScratch per depth level:
+// level d's buffers must stay alive while level d+1 evaluates its own
+// candidates into the next slot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/support/bitset.h"
+
+namespace dynbcast {
+
+struct EvalScratch {
+  /// Post-move heard matrix of the last evaluation: evaluateCandidate
+  /// leaves the candidate's round-(t+1) state here, so callers that keep
+  /// a successor (beam, lookahead) read it without re-applying the tree.
+  std::vector<DynBitset> heard;
+
+  /// Post-move coverage of the last evaluation.
+  std::vector<std::size_t> coverage;
+
+  /// Reused BFS-order buffer.
+  std::vector<std::size_t> order;
+
+  /// Copies `src` into `heard`, reusing existing row storage.
+  void assignHeard(const std::vector<DynBitset>& src) {
+    heard.resize(src.size());
+    for (std::size_t y = 0; y < src.size(); ++y) heard[y] = src[y];
+  }
+};
+
+}  // namespace dynbcast

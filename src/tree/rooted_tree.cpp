@@ -54,12 +54,18 @@ std::vector<std::size_t> RootedTree::leaves() const {
 }
 
 std::vector<std::size_t> RootedTree::bfsOrder() const {
-  std::vector<std::size_t> queue{root_};
-  queue.reserve(size());
-  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
-    for (const std::size_t c : children_[queue[qi]]) queue.push_back(c);
-  }
+  std::vector<std::size_t> queue;
+  bfsOrderInto(queue);
   return queue;
+}
+
+void RootedTree::bfsOrderInto(std::vector<std::size_t>& out) const {
+  out.clear();
+  out.reserve(size());
+  out.push_back(root_);
+  for (std::size_t qi = 0; qi < out.size(); ++qi) {
+    for (const std::size_t c : children_[out[qi]]) out.push_back(c);
+  }
 }
 
 BitMatrix RootedTree::toMatrix() const {

@@ -68,6 +68,11 @@ class RootedTree {
   /// Nodes in BFS order from the root (root first).
   [[nodiscard]] std::vector<std::size_t> bfsOrder() const;
 
+  /// bfsOrder written into a caller-owned buffer, reusing its capacity —
+  /// the simulator and candidate evaluators call this every round and must
+  /// not allocate on the hot path.
+  void bfsOrderInto(std::vector<std::size_t>& out) const;
+
   /// Communication graph: tree edges + one self-loop per node. This is the
   /// G_t the adversary submits (a member of T_n).
   [[nodiscard]] BitMatrix toMatrix() const;

@@ -266,5 +266,79 @@ TEST_P(AdaptiveUpperBoundSweep, NoAdversaryExceedsTheorem31) {
 INSTANTIATE_TEST_SUITE_P(Sizes, AdaptiveUpperBoundSweep,
                          ::testing::Values(2, 3, 4, 6, 8, 12, 20, 40, 64));
 
+// --- scratch arena vs legacy allocation path --------------------------
+//
+// evaluateCandidate has two implementations: the historical allocating
+// one (the perf harness's A/B reference, enabled by setLegacyEvalMode)
+// and the scratch-arena word-kernel one. They must agree bit-for-bit on
+// every field and on the post-move state, at word-boundary sizes too.
+
+TEST(EvalScratchTest, ArenaAgreesWithLegacyImplementation) {
+  Rng rng(31337);
+  for (const std::size_t n : {2u, 5u, 63u, 64u, 65u, 90u}) {
+    // A mid-game state: a few random rounds from the identity.
+    BroadcastSim sim(n);
+    for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
+    const std::vector<DynBitset>& heard = sim.heardMatrix();
+    const std::vector<std::size_t> coverage = coverageCounts(sim);
+    EvalScratch scratch;
+    for (int c = 0; c < 10; ++c) {
+      const RootedTree tree = randomRootedTree(n, rng);
+      setLegacyEvalMode(true);
+      const DelayScore legacy = evaluateCandidate(heard, coverage, tree,
+                                                  scratch);
+      const std::vector<DynBitset> legacyHeard = scratch.heard;
+      const std::vector<std::size_t> legacyCoverage = scratch.coverage;
+      setLegacyEvalMode(false);
+      const DelayScore arena = evaluateCandidate(heard, coverage, tree,
+                                                 scratch);
+      EXPECT_EQ(arena.finishes, legacy.finishes);
+      EXPECT_EQ(arena.potential, legacy.potential);  // same fp sum order
+      EXPECT_EQ(arena.maxCoverage, legacy.maxCoverage);
+      EXPECT_EQ(arena.newEdges, legacy.newEdges);
+      EXPECT_EQ(scratch.heard, legacyHeard);
+      EXPECT_EQ(scratch.coverage, legacyCoverage);
+    }
+  }
+}
+
+TEST(EvalScratchTest, DamageTreesIdenticalInBothModes) {
+  // buildDamageGreedyTree's edge-cost sums must be identical fp values in
+  // both modes, hence identical trees.
+  Rng rng(4242);
+  for (const std::size_t n : {3u, 17u, 65u}) {
+    BroadcastSim sim(n);
+    for (int r = 0; r < 2; ++r) sim.applyTree(randomRootedTree(n, rng));
+    const std::vector<std::size_t> coverage = coverageCounts(sim);
+    for (std::size_t root = 0; root < std::min<std::size_t>(n, 4); ++root) {
+      setLegacyEvalMode(true);
+      const RootedTree legacy = buildDamageGreedyTree(sim, coverage, root);
+      setLegacyEvalMode(false);
+      const RootedTree arena = buildDamageGreedyTree(sim, coverage, root);
+      EXPECT_EQ(arena, legacy) << "n=" << n << " root=" << root;
+    }
+  }
+}
+
+TEST(EvalScratchTest, WrapperMatchesScratchOverload) {
+  // The coverageOut-pointer wrapper is a thin shim over the scratch
+  // overload; both surfaces must report the same score and coverage.
+  Rng rng(99);
+  const std::size_t n = 40;
+  BroadcastSim sim(n);
+  for (int r = 0; r < 4; ++r) sim.applyTree(randomRootedTree(n, rng));
+  const std::vector<std::size_t> coverage = coverageCounts(sim);
+  const RootedTree tree = randomRootedTree(n, rng);
+  std::vector<std::size_t> covOut;
+  const DelayScore viaWrapper =
+      evaluateCandidate(sim.heardMatrix(), coverage, tree, &covOut);
+  EvalScratch scratch;
+  const DelayScore viaScratch =
+      evaluateCandidate(sim.heardMatrix(), coverage, tree, scratch);
+  EXPECT_EQ(viaWrapper.potential, viaScratch.potential);
+  EXPECT_EQ(viaWrapper.newEdges, viaScratch.newEdges);
+  EXPECT_EQ(covOut, scratch.coverage);
+}
+
 }  // namespace
 }  // namespace dynbcast

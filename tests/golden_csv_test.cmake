@@ -1,0 +1,24 @@
+# Bit-identity regression for the thm31 sweep: runs the bench binary and
+# byte-compares its --csv artifact against the committed golden file.
+# Invoked by ctest (see CMakeLists.txt) with:
+#   -DBENCH=<path to bench_thm31_adversary_sweep>
+#   -DJOBS=<worker count>  (1 and 8 both must reproduce the golden bytes)
+#   -DGOLDEN=<committed CSV>
+#   -DOUT=<scratch output path>
+execute_process(
+  COMMAND ${BENCH} --sizes=4:128:4 --jobs=${JOBS} --csv=${OUT}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "bench run failed (rc=${run_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT} ${GOLDEN}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+    "thm31 sweep CSV (jobs=${JOBS}) differs from the golden file "
+    "${GOLDEN} — the kernel rewrite changed observable results. If the "
+    "change is intended, regenerate the golden with the command above.")
+endif()

@@ -165,8 +165,24 @@ TEST_P(BitMatrixSizeTest, ProductDefinitionHoldsAcrossSizes) {
   EXPECT_EQ(a.product(b), naiveProduct(a, b));
 }
 
+TEST_P(BitMatrixSizeTest, BlockedProductMatchesNaiveAcrossDensities) {
+  // product() dispatches to the blocked kernel; pin the explicit entry
+  // point too, across densities (empty rows, dense rows, identity-ish).
+  const std::size_t n = GetParam();
+  for (const double density : {0.0, 0.03, 0.3, 0.9}) {
+    Rng rng(n * 977 + static_cast<std::uint64_t>(density * 100));
+    const BitMatrix a = randomMatrix(n, density, rng);
+    const BitMatrix b = randomMatrix(n, density, rng);
+    EXPECT_EQ(a.productBlocked(b), naiveProduct(a, b))
+        << "n=" << n << " density=" << density;
+  }
+}
+
+// 63/64/65/127/130 straddle the word boundaries where the blocked
+// kernel's z-block indexing could go out of bounds.
 INSTANTIATE_TEST_SUITE_P(Sizes, BitMatrixSizeTest,
-                         ::testing::Values(1, 2, 3, 7, 16, 33, 64, 65, 100));
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 63, 64, 65,
+                                           100, 127, 130));
 
 }  // namespace
 }  // namespace dynbcast

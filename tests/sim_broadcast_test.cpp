@@ -241,5 +241,73 @@ TEST_P(StaticPathSweep, ExactlyNMinus1) {
 INSTANTIATE_TEST_SUITE_P(Sizes, StaticPathSweep,
                          ::testing::Values(2, 3, 4, 8, 16, 33, 64, 128, 257));
 
+// --- incremental completion state ------------------------------------
+//
+// The simulator maintains ⋂_y Heard(y), per-row popcounts, and the
+// full-row counter incrementally (see broadcast_sim.h). These checks
+// recompute all three from the raw matrix after EVERY round of a random
+// adversary trace and demand exact agreement — including at sizes with a
+// partial tail word.
+
+void expectCompletionStateConsistent(const BroadcastSim& sim) {
+  const std::size_t n = sim.processCount();
+  DynBitset common(n);
+  common.setAll();
+  std::size_t fullRows = 0;
+  for (std::size_t y = 0; y < n; ++y) {
+    const DynBitset& row = sim.heardBy(y);
+    EXPECT_EQ(sim.heardCount(y), row.count()) << "row " << y;
+    if (row.all()) ++fullRows;
+    common.andWith(row);
+  }
+  EXPECT_EQ(sim.broadcasters(), common);
+  EXPECT_EQ(sim.broadcastDone(), common.any());
+  EXPECT_EQ(sim.gossipDone(), fullRows == n);
+}
+
+TEST(BroadcastSimIncrementalTest, MatchesRecomputeOnRandomTrace) {
+  Rng rng(2024);
+  for (const std::size_t n : {2u, 5u, 63u, 65u, 96u}) {
+    BroadcastSim sim(n);
+    expectCompletionStateConsistent(sim);
+    // Run well past broadcast completion toward gossip so the full-row
+    // counter is exercised through its whole range.
+    for (std::size_t r = 0; r < 4 * n && !sim.gossipDone(); ++r) {
+      sim.applyTree(randomRootedTree(n, rng));
+      expectCompletionStateConsistent(sim);
+    }
+    sim.reset();
+    expectCompletionStateConsistent(sim);
+  }
+}
+
+TEST(BroadcastSimIncrementalTest, MatchesRecomputeOnGraphRounds) {
+  // applyGraph rebuilds the completion state wholesale; verify it against
+  // the same recompute.
+  Rng rng(7);
+  const std::size_t n = 33;
+  BroadcastSim sim(n);
+  for (int r = 0; r < 12; ++r) {
+    BitMatrix g = BitMatrix::identity(n);
+    for (int e = 0; e < 40; ++e) {
+      g.set(rng.uniform(n), rng.uniform(n));
+    }
+    sim.applyGraph(g);
+    expectCompletionStateConsistent(sim);
+  }
+}
+
+TEST(BroadcastSimIncrementalTest, FromHeardRebuildsState) {
+  Rng rng(8);
+  const std::size_t n = 65;
+  BroadcastSim source(n);
+  for (int r = 0; r < 5; ++r) source.applyTree(randomRootedTree(n, rng));
+  const BroadcastSim resumed =
+      BroadcastSim::fromHeard(source.heardMatrix(), source.round());
+  expectCompletionStateConsistent(resumed);
+  EXPECT_EQ(resumed.broadcastDone(), source.broadcastDone());
+  EXPECT_EQ(resumed.gossipDone(), source.gossipDone());
+}
+
 }  // namespace
 }  // namespace dynbcast
