@@ -4,15 +4,17 @@
 // grow linearly in n for fixed k and stay far below the unrestricted
 // upper bound once k ≪ n.
 //
-// One engine task per (n, k) cell, seeds derived by position.
+// One engine task per (n, k) cell, seeds derived by position. The cell's
+// four adversaries are registry spec strings composed from (n, k) —
+// scenarios as data, so adding a class member is editing a string.
 //
 // Usage: restricted_adversaries [--sizes=16:512:2] [--ks=2,3,4,8]
 //                               [--seed=1] [--jobs=N] [--csv=path]
 #include <iostream>
+#include <memory>
 
 #include "bench/driver.h"
-#include "src/adversary/adaptive.h"
-#include "src/adversary/oblivious.h"
+#include "src/adversary/registry.h"
 #include "src/bounds/bounds.h"
 #include "src/support/table.h"
 
@@ -28,6 +30,7 @@ int main(int argc, char** argv) {
     std::size_t leaf = 0, inner = 0, delayLeaf = 0, delayInner = 0;
   };
   const std::vector<std::size_t>& sizes = driver.sizes();
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
   const auto rows = driver.engine().map<Row>(
       sizes.size() * ks.size(), driver.seed(),
       [&](std::size_t i, std::uint64_t taskSeed) {
@@ -36,19 +39,21 @@ int main(int argc, char** argv) {
         Row row;
         if (k >= n) return row;
         row.valid = true;
-        KLeafAdversary leaf(n, k, taskSeed);
-        KInnerAdversary inner(n, k, taskSeed ^ 0xabcdull);
+        // Cap generously: the O(kn) bound plus slack.
+        const std::size_t cap = bounds::kLeafUpper(n, k) + 4 * n;
+        const auto runSpec = [&](const std::string& spec) {
+          const auto adversary = registry.make(spec, n, taskSeed);
+          return runAdversary(n, *adversary, cap).rounds;
+        };
+        const std::string kText = std::to_string(k);
+        row.leaf = runSpec("k-leaf:k=" + kText);
+        row.inner = runSpec("k-inner:k=" + kText);
         // Delaying members of each class: a broom with handle n−k has
         // exactly k leaves; a broom with handle k has exactly k inner
         // nodes.
-        FreezeBroomAdversary delayLeaf(n, n - k);
-        FreezeBroomAdversary delayInner(n, k);
-        // Cap generously: the O(kn) bound plus slack.
-        const std::size_t cap = bounds::kLeafUpper(n, k) + 4 * n;
-        row.leaf = runAdversary(n, leaf, cap).rounds;
-        row.inner = runAdversary(n, inner, cap).rounds;
-        row.delayLeaf = runAdversary(n, delayLeaf, cap).rounds;
-        row.delayInner = runAdversary(n, delayInner, cap).rounds;
+        row.delayLeaf =
+            runSpec("freeze-broom:handle=" + std::to_string(n - k));
+        row.delayInner = runSpec("freeze-broom:handle=" + kText);
         return row;
       });
 

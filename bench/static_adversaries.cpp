@@ -4,15 +4,17 @@
 //   * nothing exceeds the trivial n² bound;
 // plus random-environment baselines (§5's non-adversarial setting).
 //
-// One engine task per size; random trials inside a task draw from that
-// task's position-derived Rng, so every cell is --jobs-independent.
+// One engine task per size; adversaries are registry spec strings, and
+// random trials inside a task draw from that task's position-derived
+// Rng, so every cell is --jobs-independent.
 //
 // Usage: static_adversaries [--sizes=4:1024:2] [--seed=1] [--trials=5]
 //                           [--jobs=N] [--csv=path]
 #include <iostream>
+#include <memory>
 
 #include "bench/driver.h"
-#include "src/adversary/oblivious.h"
+#include "src/adversary/registry.h"
 #include "src/bounds/bounds.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
@@ -31,29 +33,31 @@ int main(int argc, char** argv) {
     std::size_t altRounds = 0;
   };
   const std::vector<std::size_t>& sizes = driver.sizes();
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
   const auto rows = driver.engine().map<Row>(
       sizes.size(), driver.seed(),
       [&](std::size_t i, std::uint64_t taskSeed) {
         const std::size_t n = sizes[i];
+        const auto runSpec = [&](const std::string& spec,
+                                 std::uint64_t seed) {
+          const auto adversary = registry.make(spec, n, seed);
+          return runAdversary(n, *adversary, defaultRoundCap(n)).rounds;
+        };
         Row row;
-        StaticPathAdversary path(n);
-        row.pathRounds = runAdversary(n, path, defaultRoundCap(n)).rounds;
+        row.pathRounds = runSpec("static-path", taskSeed);
 
         // Random adversaries: average a few trials.
         Rng rng(taskSeed);
         for (std::size_t t = 0; t < trials; ++t) {
-          UniformRandomAdversary rt(n, rng());
-          RandomPathAdversary rp(n, rng());
-          row.randomTreeAvg += static_cast<double>(
-              runAdversary(n, rt, defaultRoundCap(n)).rounds);
-          row.randomPathAvg += static_cast<double>(
-              runAdversary(n, rp, defaultRoundCap(n)).rounds);
+          row.randomTreeAvg +=
+              static_cast<double>(runSpec("random-tree", rng()));
+          row.randomPathAvg +=
+              static_cast<double>(runSpec("random-path", rng()));
         }
         row.randomTreeAvg /= static_cast<double>(trials);
         row.randomPathAvg /= static_cast<double>(trials);
 
-        AlternatingPathAdversary alt(n);
-        row.altRounds = runAdversary(n, alt, defaultRoundCap(n)).rounds;
+        row.altRounds = runSpec("alternating-path", taskSeed);
         return row;
       });
 

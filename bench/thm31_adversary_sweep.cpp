@@ -1,108 +1,15 @@
 // THM31: the headline reproduction — measured adversarial broadcast time
 // vs Theorem 3.1's bracket ⌈(3n−1)/2⌉−2 ≤ t*(T_n) ≤ ⌈(1+√2)n−1⌉.
 //
-// For each n the full adversary portfolio runs to completion; the best
-// (largest) t* is a certified lower witness for the game value. The
-// paper predicts: witness/n → ≥ 1.5 for strong adversaries, and NO run
-// ever exceeds the upper curve.
-//
-// Both the portfolio sweep and the beam witness searches shard across
-// cores through the ExperimentEngine; seeds are position-derived, so the
-// output (and any --csv artifact) is byte-identical at every --jobs.
+// The implementation is `dynbcast sweep` (tools/cli.cpp), kept under its
+// historical bench name so existing scripts and the committed golden
+// CSVs keep working: the portfolio sweep runs as a declarative
+// ScenarioSpec through the registry, beam witnesses shard through the
+// engine, and output stays byte-identical at every --jobs value.
 //
 // Usage: thm31_adversary_sweep [--sizes=4:512:2] [--seed=1] [--seeds=R]
 //                              [--jobs=N] [--csv=path] [--beam-maxn=32]
-//                              [--beam-width=256]
-#include <algorithm>
-#include <iostream>
+//                              [--beam-width=256] [--adversaries=SPECS]
+#include "tools/cli.h"
 
-#include "bench/driver.h"
-#include "src/adversary/beam.h"
-#include "src/bounds/theorem.h"
-#include "src/support/table.h"
-
-int main(int argc, char** argv) {
-  using namespace dynbcast;
-  BenchDriver driver(argc, argv, "4:128:2", 1);
-  // Beam witness search is the strongest (offline) adversary; it costs
-  // real time and its advantage concentrates at small-to-mid n, so it
-  // runs only up to a size cap by default.
-  const std::size_t beamMaxN = driver.options().getUInt("beam-maxn", 32);
-  BeamConfig beamCfg;
-  beamCfg.beamWidth = driver.options().getUInt("beam-width", 256);
-  beamCfg.randomMovesPerState = 8;
-  beamCfg.diversityPercent = 40;
-
-  driver.printHeader("THM31 — adversaries vs Theorem 3.1");
-  std::cout << "best t* = max(online portfolio, offline beam witness for "
-               "n <= " << beamMaxN << ")\n\n";
-
-  // Portfolio sweep: sizes × standard members, one task per member run.
-  const SweepResult sweep = driver.engine().runSweep(driver.sweepSpec());
-
-  // Beam witnesses fan out too: one task per size within the beam cap.
-  const std::vector<std::size_t>& sizes = driver.sizes();
-  const auto beamRows = driver.engine().map<std::size_t>(
-      sizes.size(), driver.seed() ^ 0xbea3ull,
-      [&](std::size_t i, std::uint64_t taskSeed) -> std::size_t {
-        const std::size_t n = sizes[i];
-        if (n > beamMaxN) return 0;
-        const BeamResult witness = beamSearchWitness(n, taskSeed, beamCfg);
-        return verifyWitness(n, witness.witness) == witness.rounds
-                   ? witness.rounds
-                   : 0;
-      });
-
-  TextTable table({"n", "lower bound", "portfolio t*", "beam witness t*",
-                   "best t*", "upper bound", "t*/n", "upper ok"});
-  bool anyViolation = false;
-  const std::size_t replicates = driver.seedsPerSize();
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const std::size_t n = sizes[i];
-    // Portfolio t* for this n: best over its --seeds replicates (the
-    // instances are size-major, replicates contiguous).
-    std::size_t portfolioBest = 0;
-    for (std::size_t r = 0; r < replicates; ++r) {
-      portfolioBest = std::max(
-          portfolioBest,
-          sweep.instances[i * replicates + r].portfolio.bestRounds);
-    }
-    const std::size_t beamRounds = beamRows[i];
-    const std::size_t best = std::max(portfolioBest, beamRounds);
-    const TheoremCheck check = checkTheorem31(n, best);
-    anyViolation |= !check.withinUpper;
-    table.row()
-        .add(static_cast<std::uint64_t>(n))
-        .add(check.lower)
-        .add(static_cast<std::uint64_t>(portfolioBest))
-        .add(beamRounds == 0 ? std::string("-")
-                             : std::to_string(beamRounds))
-        .add(static_cast<std::uint64_t>(best))
-        .add(check.upper)
-        .add(check.ratio, 3)
-        .add(check.withinUpper ? "yes" : "VIOLATION");
-  }
-  driver.emit(table);
-
-  if (!sweep.instances.empty()) {
-    // The detail rows come straight from the sweep — no second run.
-    const SweepInstance& last = sweep.instances.back();
-    std::cout << "per-adversary detail at the largest n:\n";
-    TextTable per({"adversary", "t*", "t*/n", "completed"});
-    for (const auto& e : last.portfolio.entries) {
-      per.row()
-          .add(e.name)
-          .add(static_cast<std::uint64_t>(e.rounds))
-          .add(static_cast<double>(e.rounds) / static_cast<double>(last.n), 3)
-          .add(e.completed ? "yes" : "no");
-    }
-    std::cout << per.render() << '\n';
-  }
-
-  if (anyViolation) {
-    std::cout << "RESULT: UPPER BOUND VIOLATION DETECTED (bug!)\n";
-    return 1;
-  }
-  std::cout << "RESULT: all runs within the theorem's upper bound.\n";
-  return 0;
-}
+int main(int argc, char** argv) { return dynbcast::cli::runSweep(argc, argv); }

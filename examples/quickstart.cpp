@@ -1,10 +1,16 @@
 // Quickstart: simulate the broadcast game end to end in ~30 lines of
-// library usage — build an adversary, run it, check Theorem 3.1.
+// library usage — name an adversary by spec string, run it, check
+// Theorem 3.1.
 //
-//   $ quickstart [--n=16] [--seed=42]
+//   $ quickstart [--n=16] [--seed=42] [--adversary=greedy-delay]
+//
+// The --adversary flag takes any registry spec (try
+// "freeze-path:depth=3", "beam:width=64", or `dynbcast list` for the
+// full menu).
 #include <iostream>
+#include <memory>
 
-#include "src/adversary/adaptive.h"
+#include "src/adversary/registry.h"
 #include "src/bounds/theorem.h"
 #include "src/support/options.h"
 
@@ -13,16 +19,20 @@ int main(int argc, char** argv) {
   const Options opts(argc, argv);
   const std::size_t n = opts.getUInt("n", 16);
   const std::uint64_t seed = opts.getUInt("seed", 42);
+  const std::string spec = opts.getString("adversary", "greedy-delay");
 
   std::cout << "dynbcast quickstart: broadcast on dynamic rooted trees\n";
-  std::cout << "n = " << n << " processes, seed = " << seed << "\n\n";
+  std::cout << "n = " << n << " processes, seed = " << seed
+            << ", adversary = " << spec << "\n\n";
 
-  // 1. Pick an adversary. GreedyDelayAdversary adaptively chooses a rooted
-  //    tree each round to postpone broadcast as long as it can.
-  GreedyDelayAdversary adversary(n, seed);
+  // 1. Resolve the adversary spec through the registry. Adversaries are
+  //    data: the same string works in --adversaries sweep lists, scenario
+  //    specs, and the dynbcast CLI.
+  const std::unique_ptr<Adversary> adversary =
+      AdversaryRegistry::instance().make(spec, n, seed);
 
   // 2. Run the synchronous game until some process has been heard by all.
-  const BroadcastRun run = runAdversary(n, adversary, defaultRoundCap(n));
+  const BroadcastRun run = runAdversary(n, *adversary, defaultRoundCap(n));
 
   if (!run.completed) {
     std::cout << "ERROR: run hit the round cap — this would falsify "

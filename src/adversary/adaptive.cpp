@@ -284,7 +284,7 @@ RootedTree FreezePathAdversary::nextTree(const BroadcastSim& state) {
 }
 
 std::string FreezePathAdversary::name() const {
-  return "freeze-path[d=" + std::to_string(depth_) + "]";
+  return "freeze-path:depth=" + std::to_string(depth_);
 }
 
 FreezeBroomAdversary::FreezeBroomAdversary(std::size_t n,
@@ -303,7 +303,7 @@ RootedTree FreezeBroomAdversary::nextTree(const BroadcastSim& state) {
 }
 
 std::string FreezeBroomAdversary::name() const {
-  return "freeze-broom[h=" + std::to_string(handleLen_) + "]";
+  return "freeze-broom:handle=" + std::to_string(handleLen_);
 }
 
 HeardOrderPathAdversary::HeardOrderPathAdversary(std::size_t n,

@@ -15,6 +15,17 @@ BroadcastRun runAdversary(std::size_t n, Adversary& adversary,
       maxRounds, recordHistory);
 }
 
+BroadcastRun runAdversaryGossip(std::size_t n, Adversary& adversary,
+                                std::size_t maxRounds, bool recordHistory) {
+  adversary.reset();
+  return runGossip(
+      n,
+      [&adversary](const BroadcastSim& state) {
+        return adversary.nextTree(state);
+      },
+      maxRounds, recordHistory);
+}
+
 std::size_t defaultRoundCap(std::size_t n) {
   // ⌈(1+√2)n − 1⌉ plus slack; the theorem says no adversary can reach it.
   const double ub = std::ceil((1.0 + std::sqrt(2.0)) * static_cast<double>(n));

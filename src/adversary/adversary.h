@@ -45,6 +45,14 @@ class Adversary {
                                         std::size_t maxRounds,
                                         bool recordHistory = false);
 
+/// Same, but runs to GOSSIP completion (everyone heard everyone). Use
+/// defaultGossipRoundCap(n) for the cap, not defaultRoundCap(n): the
+/// latter encodes the paper's broadcast bound, which gossip may exceed.
+[[nodiscard]] BroadcastRun runAdversaryGossip(std::size_t n,
+                                              Adversary& adversary,
+                                              std::size_t maxRounds,
+                                              bool recordHistory = false);
+
 /// Default round cap used by drivers: comfortably above the paper's upper
 /// bound ⌈(1+√2)n−1⌉, so hitting it means something is wrong (and tests
 /// treat it as a Theorem 3.1 violation).

@@ -150,7 +150,7 @@ RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
 }
 
 std::string LookaheadDelayAdversary::name() const {
-  return "lookahead[d=" + std::to_string(config_.depth) + "]";
+  return "lookahead:depth=" + std::to_string(config_.depth);
 }
 
 }  // namespace dynbcast

@@ -76,7 +76,7 @@ RootedTree KLeafAdversary::nextTree(const BroadcastSim& state) {
 }
 
 std::string KLeafAdversary::name() const {
-  return "k-leaf[k=" + std::to_string(k_) + "]";
+  return "k-leaf:k=" + std::to_string(k_);
 }
 
 void KLeafAdversary::reset() { rng_ = Rng(seed_); }
@@ -93,7 +93,7 @@ RootedTree KInnerAdversary::nextTree(const BroadcastSim& state) {
 }
 
 std::string KInnerAdversary::name() const {
-  return "k-inner[k=" + std::to_string(k_) + "]";
+  return "k-inner:k=" + std::to_string(k_);
 }
 
 void KInnerAdversary::reset() { rng_ = Rng(seed_); }

@@ -1,48 +1,41 @@
 #include "src/adversary/portfolio.h"
 
-#include "src/adversary/adaptive.h"
-#include "src/adversary/local_search.h"
-#include "src/adversary/oblivious.h"
+#include "src/adversary/registry.h"
 #include "src/support/assert.h"
 
 namespace dynbcast {
 
-std::vector<PortfolioMember> standardPortfolio(std::size_t n,
-                                               std::uint64_t seed) {
+std::vector<std::string> standardPortfolioSpecs() {
+  return {
+      "static-path",        "random-tree",
+      "random-path",        "heard-asc-path",
+      "heard-desc-path",    "freeze-path:depth=1",
+      "freeze-path:depth=2", "freeze-path:depth=3",
+      "greedy-delay",       "local-search",
+  };
+}
+
+std::vector<PortfolioMember> membersFromSpecs(
+    const std::vector<std::string>& specs, std::size_t n,
+    std::uint64_t seed) {
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
   std::vector<PortfolioMember> members;
-  members.push_back({"static-path", [n] {
-                       return std::make_unique<StaticPathAdversary>(n);
-                     }});
-  members.push_back({"random-tree", [n, seed] {
-                       return std::make_unique<UniformRandomAdversary>(n,
-                                                                       seed);
-                     }});
-  members.push_back({"random-path", [n, seed] {
-                       return std::make_unique<RandomPathAdversary>(
-                           n, seed ^ 0x5eedull);
-                     }});
-  members.push_back({"heard-asc-path", [n] {
-                       return std::make_unique<HeardOrderPathAdversary>(n,
-                                                                        true);
-                     }});
-  members.push_back({"heard-desc-path", [n] {
-                       return std::make_unique<HeardOrderPathAdversary>(
-                           n, false);
-                     }});
-  for (std::size_t d = 1; d <= 3; ++d) {
-    members.push_back({"freeze-path[d=" + std::to_string(d) + "]", [n, d] {
-                         return std::make_unique<FreezePathAdversary>(n, d);
+  members.reserve(specs.size());
+  for (const std::string& text : specs) {
+    AdversarySpec spec = AdversarySpec::parse(text);
+    registry.validate(spec);
+    std::string name = spec.toString();
+    members.push_back({std::move(name),
+                       [spec = std::move(spec), n, seed, &registry] {
+                         return registry.make(spec, n, seed);
                        }});
   }
-  members.push_back({"greedy-delay", [n, seed] {
-                       return std::make_unique<GreedyDelayAdversary>(
-                           n, seed ^ 0x9eedull);
-                     }});
-  members.push_back({"local-search", [n, seed] {
-                       return std::make_unique<LocalSearchPathAdversary>(
-                           n, seed ^ 0xf00dull);
-                     }});
   return members;
+}
+
+std::vector<PortfolioMember> standardPortfolio(std::size_t n,
+                                               std::uint64_t seed) {
+  return membersFromSpecs(standardPortfolioSpecs(), n, seed);
 }
 
 PortfolioResult runPortfolio(std::size_t n, std::uint64_t seed,

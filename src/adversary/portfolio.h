@@ -22,8 +22,22 @@ struct PortfolioMember {
   std::function<std::unique_ptr<Adversary>()> make;
 };
 
-/// The standard members: static path, random tree/path, heard-order
-/// paths, freeze paths (depths 1–3), greedy-delay, local-search.
+/// The standard portfolio as data: registry spec strings for the members
+/// every sweep runs by default — static path, random tree/path,
+/// heard-order paths, freeze paths (depths 1–3), greedy-delay,
+/// local-search.
+[[nodiscard]] std::vector<std::string> standardPortfolioSpecs();
+
+/// Resolves registry spec strings into portfolio members for one
+/// (n, seed) instance. Validates every spec eagerly (unknown names/keys
+/// throw std::invalid_argument here, not inside a worker thread); each
+/// member's display name is the canonical spec string and its make()
+/// constructs a fresh adversary through the AdversaryRegistry.
+[[nodiscard]] std::vector<PortfolioMember> membersFromSpecs(
+    const std::vector<std::string>& specs, std::size_t n,
+    std::uint64_t seed);
+
+/// standardPortfolioSpecs() resolved through the registry.
 [[nodiscard]] std::vector<PortfolioMember> standardPortfolio(
     std::size_t n, std::uint64_t seed);
 

@@ -1,0 +1,161 @@
+// AdversaryRegistry: the string-addressable construction surface for every
+// adversary in the library.
+//
+// The paper's t*(T_n) is a max over *all* adversaries; growing that max
+// means composing ever more adversary variants into sweeps. The registry
+// makes adversaries data instead of code: a stable name plus a typed
+// key=value parameter bag ("freeze-path:depth=3", "beam:width=8")
+// constructs a fresh instance for any (n, seed), so portfolios, scenario
+// specs, and the dynbcast CLI can all be driven by plain strings.
+//
+// Grammar (canonical form printed by AdversarySpec::toString):
+//
+//   spec   := name [":" param ("," param)*]
+//   param  := key "=" value
+//   name   := [A-Za-z0-9._-]+          e.g. "greedy-delay"
+//
+// Unknown names and unknown keys are hard errors with a nearest-match
+// suggestion — a typo in an experiment script must fail loudly, not
+// silently run the wrong adversary. Every adversary's name() returns a
+// string in this grammar, so names round-trip through parse/print.
+// name() carries the identity-defining parameters (freeze-path:depth=2,
+// k-leaf:k=3, the full beam spec); greedy-delay and local-search keep
+// their bare names even when tuning knobs are customized — portfolio
+// member display names preserve the full spec in that case.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/adversary/adversary.h"
+
+namespace dynbcast {
+
+/// Typed view of one spec's key=value bag. Values are stored as strings
+/// and converted on access; conversion failures throw
+/// std::invalid_argument naming the offending key and value.
+class AdversaryParams {
+ public:
+  AdversaryParams() = default;
+  explicit AdversaryParams(std::map<std::string, std::string> values)
+      : values_(std::move(values)) {}
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] std::uint64_t getUInt(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& fallback) const;
+
+  /// Sorted key → value map (std::map keeps printing canonical).
+  [[nodiscard]] const std::map<std::string, std::string>& values()
+      const noexcept {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// A parsed adversary spec string: base name + parameter bag.
+struct AdversarySpec {
+  std::string name;
+  AdversaryParams params;
+
+  /// Parses "name:key=value,key=value". Throws std::invalid_argument on
+  /// malformed input (empty name, missing '=', duplicate key, bad
+  /// characters). Surrounding whitespace of tokens is ignored.
+  [[nodiscard]] static AdversarySpec parse(const std::string& text);
+
+  /// Canonical printing: name, then ":" and the parameters sorted by key.
+  /// parse(s).toString() is a fixed point: parsing it again yields an
+  /// equal spec.
+  [[nodiscard]] std::string toString() const;
+};
+
+/// One declared parameter of a registered adversary (for validation,
+/// error suggestions, and `dynbcast list`).
+struct AdversaryParamDoc {
+  std::string key;
+  std::string defaultValue;
+  std::string description;
+};
+
+/// Factory: builds a fresh adversary for an (n, seed) instance. The
+/// factory owns any seed salting (the registry passes the instance seed
+/// through untouched) and must validate parameter ranges by throwing
+/// std::invalid_argument.
+using AdversaryFactory = std::function<std::unique_ptr<Adversary>(
+    std::size_t n, std::uint64_t seed, const AdversaryParams& params)>;
+
+struct AdversaryInfo {
+  std::string name;
+  std::string description;
+  std::vector<AdversaryParamDoc> params;  ///< the only accepted keys
+  AdversaryFactory factory;
+};
+
+/// Name → factory registry. The process-wide instance() comes with every
+/// built-in adversary pre-registered; extensions may add() their own
+/// before fanning work out (the registry is read-only thereafter — make()
+/// from worker threads is safe as long as no add() races it).
+class AdversaryRegistry {
+ public:
+  AdversaryRegistry() = default;
+
+  /// The process-wide registry, with all built-ins registered.
+  [[nodiscard]] static AdversaryRegistry& instance();
+
+  /// Registers a new adversary. Throws std::invalid_argument if the name
+  /// is already taken or not in the grammar's name charset.
+  void add(AdversaryInfo info);
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return entries_.count(name) != 0;
+  }
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Metadata lookup. Throws std::invalid_argument with a nearest-match
+  /// suggestion when the name is unknown.
+  [[nodiscard]] const AdversaryInfo& info(const std::string& name) const;
+
+  /// Checks the spec resolves: known name and only declared keys.
+  /// Throws std::invalid_argument (with suggestions) otherwise. Cheap —
+  /// callers composing sweeps validate eagerly so a typo fails at
+  /// composition time, not inside a worker thread.
+  void validate(const AdversarySpec& spec) const;
+
+  /// Validates and constructs. Parameter *values* are checked by the
+  /// factory itself (range errors also throw std::invalid_argument).
+  [[nodiscard]] std::unique_ptr<Adversary> make(const AdversarySpec& spec,
+                                                std::size_t n,
+                                                std::uint64_t seed) const;
+
+  /// Convenience: parse + make.
+  [[nodiscard]] std::unique_ptr<Adversary> make(const std::string& spec,
+                                                std::size_t n,
+                                                std::uint64_t seed) const;
+
+ private:
+  std::map<std::string, AdversaryInfo> entries_;
+};
+
+/// "did you mean" helper shared by the registry and the scenario layer:
+/// the candidate closest to `word` in edit distance, or empty when
+/// nothing is within distance 3.
+[[nodiscard]] std::string closestMatch(const std::string& word,
+                                       const std::vector<std::string>& pool);
+
+}  // namespace dynbcast

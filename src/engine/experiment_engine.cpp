@@ -66,7 +66,8 @@ SweepResult ExperimentEngine::runSweep(const SweepSpec& spec) {
   }
   SweepResult result;
   result.rows.resize(totalRows);
-  const bool recordHistory = config_.recordHistory;
+  const bool recordHistory =
+      spec.recordHistory.value_or(config_.recordHistory);
   const std::size_t roundCap = spec.roundCap;
   pool_.parallelFor(totalRows, [&](std::size_t t) {
     const auto [p, m] = taskOf[t];

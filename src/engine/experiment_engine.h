@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -54,6 +55,9 @@ struct SweepSpec {
       portfolio;
   /// Round cap per instance; 0 = defaultRoundCap(n).
   std::size_t roundCap = 0;
+  /// Per-sweep history override; unset = the engine's
+  /// EngineConfig::recordHistory.
+  std::optional<bool> recordHistory;
 };
 
 /// One member's run inside a sweep — the atomic unit of work.

@@ -1,0 +1,350 @@
+#include "src/engine/scenario.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/adversary/adversary.h"
+#include "src/adversary/registry.h"
+#include "src/bounds/bounds.h"
+#include "src/nonsplit/nonsplit.h"
+#include "src/sim/gossip.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+namespace {
+
+/// The nonsplit dynamics universe: graph generators, not tree
+/// adversaries, so they live here instead of the AdversaryRegistry. Specs
+/// use the same name:key=value grammar.
+struct NonsplitGenerator {
+  std::string name;
+  std::string edgesDoc;  // empty = takes no parameters
+};
+
+const NonsplitGenerator kNonsplitGenerators[] = {
+    {"nonsplit-random",
+     "extra random edges before the nonsplit repair; 0 = 2n"},
+    {"nonsplit-skewed", ""},
+};
+
+[[nodiscard]] const NonsplitGenerator* findNonsplitGenerator(
+    const std::string& name) {
+  for (const NonsplitGenerator& gen : kNonsplitGenerators) {
+    if (gen.name == name) return &gen;
+  }
+  return nullptr;
+}
+
+[[nodiscard]] BitMatrix makeNonsplitGraph(const AdversarySpec& spec,
+                                          std::size_t n, Rng& rng) {
+  if (spec.name == "nonsplit-random") {
+    const std::size_t edges = spec.params.getUInt("edges", 0);
+    return randomNonsplitGraph(n, edges != 0 ? edges : 2 * n, rng);
+  }
+  DYNBCAST_ASSERT(spec.name == "nonsplit-skewed");
+  return skewedNonsplitGraph(n, rng);
+}
+
+void validateNonsplitSpec(const AdversarySpec& spec) {
+  const NonsplitGenerator* gen = findNonsplitGenerator(spec.name);
+  if (gen == nullptr) {
+    std::vector<std::string> pool;
+    for (const NonsplitGenerator& g : kNonsplitGenerators) {
+      pool.push_back(g.name);
+    }
+    std::string message = "dynamics 'nonsplit': unknown generator '" +
+                          spec.name + "'";
+    const std::string suggestion = closestMatch(spec.name, pool);
+    if (!suggestion.empty()) {
+      message += "; did you mean '" + suggestion + "'?";
+    }
+    message += " (known: nonsplit-random, nonsplit-skewed)";
+    throw std::invalid_argument(message);
+  }
+  for (const auto& [key, value] : spec.params.values()) {
+    if (!gen->edgesDoc.empty() && key == "edges") continue;
+    throw std::invalid_argument("nonsplit generator '" + spec.name +
+                                "': unknown parameter '" + key + "'" +
+                                (gen->edgesDoc.empty()
+                                     ? " (takes no parameters)"
+                                     : " (known parameters: edges)"));
+  }
+}
+
+[[nodiscard]] std::vector<std::string> resolvedSpecs(
+    const ScenarioSpec& spec) {
+  return spec.adversaries.empty() ? defaultAdversarySpecs(spec.dynamics)
+                                  : spec.adversaries;
+}
+
+/// Instance plan shared by the gossip and nonsplit paths — the same
+/// sizes × replicates flattening (and position-derived seeds) as
+/// ExperimentEngine::runSweep, so row order and seeding match the
+/// broadcast path exactly.
+struct InstancePlan {
+  std::size_t n = 0;
+  std::size_t seedIndex = 0;
+  std::uint64_t instanceSeed = 0;
+  std::size_t firstRow = 0;
+};
+
+[[nodiscard]] std::vector<InstancePlan> planInstances(
+    const ScenarioSpec& spec, std::size_t membersPerInstance,
+    std::size_t* totalRows) {
+  const SeedSequence seeds(spec.masterSeed);
+  std::vector<InstancePlan> plan;
+  plan.reserve(spec.sizes.size() * spec.seedsPerSize);
+  *totalRows = 0;
+  for (std::size_t s = 0; s < spec.sizes.size(); ++s) {
+    for (std::size_t r = 0; r < spec.seedsPerSize; ++r) {
+      InstancePlan instance;
+      instance.n = spec.sizes[s];
+      instance.seedIndex = r;
+      instance.instanceSeed = seeds.at(s * spec.seedsPerSize + r);
+      instance.firstRow = *totalRows;
+      *totalRows += membersPerInstance;
+      plan.push_back(instance);
+    }
+  }
+  return plan;
+}
+
+/// Regroups rows into per-instance aggregates (same as runSweep's
+/// aggregate phase): bestRounds is the max over *completed* rows.
+[[nodiscard]] std::vector<SweepInstance> aggregateInstances(
+    const std::vector<SweepRow>& rows, const std::vector<InstancePlan>& plan,
+    std::size_t membersPerInstance) {
+  std::vector<SweepInstance> instances;
+  instances.reserve(plan.size());
+  for (const InstancePlan& instance : plan) {
+    SweepInstance aggregate;
+    aggregate.n = instance.n;
+    aggregate.seedIndex = instance.seedIndex;
+    aggregate.instanceSeed = instance.instanceSeed;
+    for (std::size_t m = 0; m < membersPerInstance; ++m) {
+      const SweepRow& row = rows[instance.firstRow + m];
+      aggregate.portfolio.entries.push_back(
+          {row.member, row.rounds, row.completed, {}});
+      if (row.completed && row.rounds > aggregate.portfolio.bestRounds) {
+        aggregate.portfolio.bestRounds = row.rounds;
+        aggregate.portfolio.bestName = row.member;
+      }
+    }
+    instances.push_back(std::move(aggregate));
+  }
+  return instances;
+}
+
+[[nodiscard]] ScenarioResult runGossipScenario(const ScenarioSpec& spec,
+                                               ExperimentEngine& engine) {
+  const std::vector<std::string> specs = resolvedSpecs(spec);
+  std::size_t totalRows = 0;
+  const std::vector<InstancePlan> plan =
+      planInstances(spec, specs.size(), &totalRows);
+
+  // Materialize member factories per instance on this thread (factories
+  // capture the instance seed), mirroring runSweep's plan phase.
+  std::vector<std::vector<PortfolioMember>> members;
+  members.reserve(plan.size());
+  for (const InstancePlan& instance : plan) {
+    members.push_back(
+        membersFromSpecs(specs, instance.n, instance.instanceSeed));
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> taskOf;  // row → (p, m)
+  taskOf.reserve(totalRows);
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    for (std::size_t m = 0; m < specs.size(); ++m) taskOf.emplace_back(p, m);
+  }
+
+  ScenarioResult result;
+  result.rows = engine.map<SweepRow>(
+      totalRows, spec.masterSeed,
+      [&](std::size_t t, std::uint64_t) {
+        const auto [p, m] = taskOf[t];
+        const InstancePlan& instance = plan[p];
+        const PortfolioMember& member = members[p][m];
+        const std::unique_ptr<Adversary> adversary = member.make();
+        const std::size_t cap = spec.roundCap != 0
+                                    ? spec.roundCap
+                                    : defaultGossipRoundCap(instance.n);
+        BroadcastRun run = runAdversaryGossip(instance.n, *adversary, cap,
+                                              spec.recordHistory);
+        SweepRow row;
+        row.n = instance.n;
+        row.seedIndex = instance.seedIndex;
+        row.instanceSeed = instance.instanceSeed;
+        row.member = member.name;
+        row.rounds = run.rounds;
+        row.completed = run.completed;
+        row.history = std::move(run.history);
+        return row;
+      });
+  result.instances = aggregateInstances(result.rows, plan, specs.size());
+  return result;
+}
+
+[[nodiscard]] ScenarioResult runNonsplitScenario(const ScenarioSpec& spec,
+                                                 ExperimentEngine& engine) {
+  const std::vector<std::string> specTexts = resolvedSpecs(spec);
+  std::vector<AdversarySpec> parsed;
+  parsed.reserve(specTexts.size());
+  for (const std::string& text : specTexts) {
+    parsed.push_back(AdversarySpec::parse(text));
+  }
+  std::size_t totalRows = 0;
+  const std::vector<InstancePlan> plan =
+      planInstances(spec, parsed.size(), &totalRows);
+
+  std::vector<std::pair<std::size_t, std::size_t>> taskOf;
+  taskOf.reserve(totalRows);
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    for (std::size_t m = 0; m < parsed.size(); ++m) taskOf.emplace_back(p, m);
+  }
+
+  ScenarioResult result;
+  result.rows = engine.map<SweepRow>(
+      totalRows, spec.masterSeed,
+      [&](std::size_t t, std::uint64_t) {
+        const auto [p, m] = taskOf[t];
+        const InstancePlan& instance = plan[p];
+        const AdversarySpec& gen = parsed[m];
+        const std::size_t cap =
+            spec.roundCap != 0
+                ? spec.roundCap
+                : static_cast<std::size_t>(
+                      bounds::nonsplitLogUpper(instance.n)) +
+                      8;
+        // Generator draws are decorrelated per member via a fixed odd
+        // multiplier on the member index (seeds stay position-derived).
+        Rng rng(instance.instanceSeed ^
+                (0x9e3779b97f4a7c15ull * (m + 1)));
+        const NonsplitRun run = runNonsplitBroadcast(
+            instance.n,
+            [&gen, &instance](Rng& r) {
+              return makeNonsplitGraph(gen, instance.n, r);
+            },
+            cap, rng);
+        SweepRow row;
+        row.n = instance.n;
+        row.seedIndex = instance.seedIndex;
+        row.instanceSeed = instance.instanceSeed;
+        row.member = gen.toString();
+        row.rounds = run.rounds;
+        row.completed = run.completed;
+        return row;
+      });
+  result.instances = aggregateInstances(result.rows, plan, parsed.size());
+  return result;
+}
+
+}  // namespace
+
+Objective parseObjective(const std::string& text) {
+  if (text == "broadcast") return Objective::kBroadcast;
+  if (text == "gossip") return Objective::kGossip;
+  std::string message = "unknown objective '" + text + "'";
+  const std::string suggestion =
+      closestMatch(text, {"broadcast", "gossip"});
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  message += " (known: broadcast, gossip)";
+  throw std::invalid_argument(message);
+}
+
+std::string objectiveName(Objective objective) {
+  return objective == Objective::kBroadcast ? "broadcast" : "gossip";
+}
+
+Dynamics parseDynamics(const std::string& text) {
+  if (text == "rooted-tree") return Dynamics::kRootedTree;
+  if (text == "restricted") return Dynamics::kRestricted;
+  if (text == "nonsplit") return Dynamics::kNonsplit;
+  std::string message = "unknown dynamics '" + text + "'";
+  const std::string suggestion =
+      closestMatch(text, {"rooted-tree", "restricted", "nonsplit"});
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  message += " (known: rooted-tree, restricted, nonsplit)";
+  throw std::invalid_argument(message);
+}
+
+std::string dynamicsName(Dynamics dynamics) {
+  switch (dynamics) {
+    case Dynamics::kRootedTree:
+      return "rooted-tree";
+    case Dynamics::kRestricted:
+      return "restricted";
+    case Dynamics::kNonsplit:
+      return "nonsplit";
+  }
+  return "rooted-tree";
+}
+
+std::vector<std::string> defaultAdversarySpecs(Dynamics dynamics) {
+  switch (dynamics) {
+    case Dynamics::kRootedTree:
+      return standardPortfolioSpecs();
+    case Dynamics::kRestricted:
+      return {"k-leaf:k=2", "k-inner:k=2", "freeze-broom:handle=2"};
+    case Dynamics::kNonsplit:
+      return {"nonsplit-random", "nonsplit-skewed"};
+  }
+  return standardPortfolioSpecs();
+}
+
+void validateScenario(const ScenarioSpec& spec) {
+  if (spec.seedsPerSize == 0) {
+    throw std::invalid_argument("scenario: seedsPerSize must be >= 1");
+  }
+  if (spec.dynamics == Dynamics::kNonsplit &&
+      spec.objective == Objective::kGossip) {
+    throw std::invalid_argument(
+        "scenario: gossip is only defined over tree dynamics here "
+        "(nonsplit graphs support objective=broadcast)");
+  }
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
+  for (const std::string& text : resolvedSpecs(spec)) {
+    const AdversarySpec parsed = AdversarySpec::parse(text);
+    if (spec.dynamics == Dynamics::kNonsplit) {
+      validateNonsplitSpec(parsed);
+      continue;
+    }
+    registry.validate(parsed);
+    if (spec.dynamics == Dynamics::kRestricted &&
+        parsed.name != "k-leaf" && parsed.name != "k-inner" &&
+        parsed.name != "freeze-broom") {
+      throw std::invalid_argument(
+          "dynamics 'restricted' only admits adversaries from the "
+          "restricted tree classes of [14] (k-leaf, k-inner, "
+          "freeze-broom); got '" + parsed.name + "'");
+    }
+  }
+}
+
+ScenarioResult runScenario(const ScenarioSpec& spec,
+                           ExperimentEngine& engine) {
+  validateScenario(spec);
+  if (spec.dynamics == Dynamics::kNonsplit) {
+    return runNonsplitScenario(spec, engine);
+  }
+  if (spec.objective == Objective::kGossip) {
+    return runGossipScenario(spec, engine);
+  }
+  // Broadcast over (un)restricted trees: exactly the engine's portfolio
+  // sweep — a default rooted-tree scenario reproduces
+  // runSweep(standardPortfolio) bit-for-bit.
+  const std::vector<std::string> specs = resolvedSpecs(spec);
+  SweepSpec sweep;
+  sweep.sizes = spec.sizes;
+  sweep.masterSeed = spec.masterSeed;
+  sweep.seedsPerSize = spec.seedsPerSize;
+  sweep.roundCap = spec.roundCap;
+  sweep.recordHistory = spec.recordHistory;
+  sweep.portfolio = [specs](std::size_t n, std::uint64_t seed) {
+    return membersFromSpecs(specs, n, seed);
+  };
+  return engine.runSweep(sweep);
+}
+
+}  // namespace dynbcast

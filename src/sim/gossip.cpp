@@ -32,4 +32,6 @@ GossipComparison runGossipComparison(
   return cmp;
 }
 
+std::size_t defaultGossipRoundCap(std::size_t n) { return 10 * n + 50; }
+
 }  // namespace dynbcast

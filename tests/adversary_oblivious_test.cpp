@@ -86,8 +86,8 @@ TEST(ConstrainedAdversaryTest, KInnerCompletes) {
 TEST(ConstrainedAdversaryTest, NamesEncodeK) {
   KLeafAdversary a(8, 3, 1);
   KInnerAdversary b(8, 5, 1);
-  EXPECT_EQ(a.name(), "k-leaf[k=3]");
-  EXPECT_EQ(b.name(), "k-inner[k=5]");
+  EXPECT_EQ(a.name(), "k-leaf:k=3");
+  EXPECT_EQ(b.name(), "k-inner:k=5");
 }
 
 }  // namespace

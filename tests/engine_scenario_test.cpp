@@ -1,0 +1,223 @@
+#include "src/engine/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/adversary/adversary.h"
+#include "src/bounds/bounds.h"
+#include "src/sim/gossip.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(ScenarioVocabularyTest, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(parseObjective("broadcast"), Objective::kBroadcast);
+  EXPECT_EQ(parseObjective("gossip"), Objective::kGossip);
+  EXPECT_EQ(objectiveName(Objective::kGossip), "gossip");
+  EXPECT_EQ(parseDynamics("rooted-tree"), Dynamics::kRootedTree);
+  EXPECT_EQ(parseDynamics("restricted"), Dynamics::kRestricted);
+  EXPECT_EQ(parseDynamics("nonsplit"), Dynamics::kNonsplit);
+  EXPECT_EQ(dynamicsName(Dynamics::kNonsplit), "nonsplit");
+  EXPECT_THROW((void)parseObjective("gosip"), std::invalid_argument);
+  EXPECT_THROW((void)parseDynamics("rootedtree"), std::invalid_argument);
+}
+
+TEST(ScenarioTest, DefaultBroadcastScenarioMatchesRunSweepBitForBit) {
+  ExperimentEngine engine({.jobs = 2});
+  ScenarioSpec scenario;
+  scenario.sizes = {6, 9};
+  scenario.masterSeed = 11;
+  scenario.seedsPerSize = 2;
+  const ScenarioResult viaScenario = runScenario(scenario, engine);
+
+  SweepSpec sweep;
+  sweep.sizes = {6, 9};
+  sweep.masterSeed = 11;
+  sweep.seedsPerSize = 2;
+  const SweepResult direct = engine.runSweep(sweep);
+
+  ASSERT_EQ(viaScenario.rows.size(), direct.rows.size());
+  for (std::size_t i = 0; i < direct.rows.size(); ++i) {
+    EXPECT_EQ(viaScenario.rows[i], direct.rows[i]) << "row " << i;
+  }
+  ASSERT_EQ(viaScenario.instances.size(), direct.instances.size());
+  for (std::size_t i = 0; i < direct.instances.size(); ++i) {
+    EXPECT_EQ(viaScenario.instances[i].portfolio.bestRounds,
+              direct.instances[i].portfolio.bestRounds);
+    EXPECT_EQ(viaScenario.instances[i].portfolio.bestName,
+              direct.instances[i].portfolio.bestName);
+  }
+}
+
+TEST(ScenarioTest, ExplicitSpecListControlsRowsAndOrder) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.sizes = {8, 10};
+  scenario.adversaries = {"static-path", "freeze-path:depth=2"};
+  const ScenarioResult result = runScenario(scenario, engine);
+  ASSERT_EQ(result.rows.size(), 4u);
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    EXPECT_EQ(result.rows[i].member,
+              i % 2 == 0 ? "static-path" : "freeze-path:depth=2");
+  }
+  // The static path is exact: t* = n-1 (paper §2).
+  EXPECT_EQ(result.rows[0].rounds, 7u);
+  EXPECT_EQ(result.rows[2].rounds, 9u);
+}
+
+TEST(ScenarioTest, GossipFactsFromThePaper) {
+  // Static trees never complete gossip (a leaf's id cannot propagate);
+  // dynamic oblivious sequences complete in Theta(n); and the capped
+  // stall is reported via defaultGossipRoundCap, not the broadcast cap.
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.objective = Objective::kGossip;
+  scenario.sizes = {8};
+  scenario.adversaries = {"static-path", "alternating-path"};
+  const ScenarioResult result = runScenario(scenario, engine);
+  ASSERT_EQ(result.rows.size(), 2u);
+
+  const ScenarioRow& staticRow = result.rows[0];
+  EXPECT_FALSE(staticRow.completed);
+  EXPECT_EQ(staticRow.rounds, defaultGossipRoundCap(8));
+
+  const ScenarioRow& alternating = result.rows[1];
+  EXPECT_TRUE(alternating.completed);
+  EXPECT_GE(alternating.rounds, 8u);   // gossip >= broadcast >= n-1
+  EXPECT_LE(alternating.rounds, 16u);  // ping-pong finishes in ~2n
+
+  // The instance aggregate only counts completed runs.
+  ASSERT_EQ(result.instances.size(), 1u);
+  EXPECT_EQ(result.instances[0].portfolio.bestName, "alternating-path");
+}
+
+TEST(ScenarioTest, GossipDominatesBroadcastMemberwise) {
+  ExperimentEngine engine;
+  ScenarioSpec broadcast;
+  broadcast.sizes = {10};
+  broadcast.adversaries = {"alternating-path", "random-tree"};
+  ScenarioSpec gossip = broadcast;
+  gossip.objective = Objective::kGossip;
+  const ScenarioResult b = runScenario(broadcast, engine);
+  const ScenarioResult g = runScenario(gossip, engine);
+  ASSERT_EQ(b.rows.size(), g.rows.size());
+  for (std::size_t i = 0; i < b.rows.size(); ++i) {
+    ASSERT_TRUE(g.rows[i].completed) << g.rows[i].member;
+    EXPECT_GE(g.rows[i].rounds, b.rows[i].rounds) << g.rows[i].member;
+  }
+}
+
+TEST(ScenarioTest, RestrictedDynamicsValidatesTheClass) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = Dynamics::kRestricted;
+  scenario.sizes = {12};
+  scenario.adversaries = {"greedy-delay"};
+  EXPECT_THROW((void)runScenario(scenario, engine), std::invalid_argument);
+
+  scenario.adversaries = {"k-leaf:k=3", "k-inner:k=3",
+                          "freeze-broom:handle=4"};
+  const ScenarioResult result = runScenario(scenario, engine);
+  ASSERT_EQ(result.rows.size(), 3u);
+  for (const ScenarioRow& row : result.rows) {
+    EXPECT_TRUE(row.completed) << row.member;
+    // Everything in the restricted classes obeys the O(kn) bound of [14].
+    EXPECT_LE(row.rounds, bounds::kLeafUpper(12, 4)) << row.member;
+  }
+}
+
+TEST(ScenarioTest, NonsplitStaysWithinTheLogBound) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = Dynamics::kNonsplit;
+  scenario.sizes = {16, 32};
+  scenario.seedsPerSize = 2;
+  const ScenarioResult result = runScenario(scenario, engine);
+  ASSERT_EQ(result.rows.size(), 2u * 2u * 2u);
+  for (const ScenarioRow& row : result.rows) {
+    EXPECT_TRUE(row.completed) << row.member;
+    EXPECT_LE(row.rounds, bounds::nonsplitLogUpper(row.n) + 8)
+        << row.member;
+  }
+}
+
+TEST(ScenarioTest, NonsplitGossipIsRejected) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.objective = Objective::kGossip;
+  scenario.dynamics = Dynamics::kNonsplit;
+  scenario.sizes = {8};
+  EXPECT_THROW((void)runScenario(scenario, engine), std::invalid_argument);
+}
+
+TEST(ScenarioTest, UnknownNonsplitGeneratorSuggests) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = Dynamics::kNonsplit;
+  scenario.sizes = {8};
+  scenario.adversaries = {"nonsplit-rando"};
+  try {
+    (void)runScenario(scenario, engine);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("nonsplit-random"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioTest, RowsAreBitIdenticalAcrossJobCounts) {
+  // The determinism guarantee extends beyond the broadcast sweep: the
+  // gossip and nonsplit paths also derive every seed from the task's
+  // position, so any --jobs value produces the same rows.
+  for (const Dynamics dynamics :
+       {Dynamics::kRootedTree, Dynamics::kNonsplit}) {
+    ScenarioSpec scenario;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {8, 12};
+    scenario.seedsPerSize = 2;
+    scenario.masterSeed = 99;
+    if (dynamics == Dynamics::kRootedTree) {
+      scenario.objective = Objective::kGossip;
+      scenario.adversaries = {"alternating-path", "random-tree",
+                              "random-path"};
+    }
+    ExperimentEngine serial({.jobs = 1});
+    ExperimentEngine parallel({.jobs = 8});
+    const ScenarioResult a = runScenario(scenario, serial);
+    const ScenarioResult b = runScenario(scenario, parallel);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (std::size_t i = 0; i < a.rows.size(); ++i) {
+      EXPECT_EQ(a.rows[i], b.rows[i])
+          << dynamicsName(dynamics) << " row " << i;
+    }
+  }
+}
+
+TEST(ScenarioTest, HistoryIsRecordedOnDemand) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.sizes = {8};
+  scenario.adversaries = {"static-path"};
+  const ScenarioResult plain = runScenario(scenario, engine);
+  EXPECT_TRUE(plain.rows[0].history.empty());
+
+  scenario.recordHistory = true;
+  const ScenarioResult traced = runScenario(scenario, engine);
+  ASSERT_EQ(traced.rows.size(), 1u);
+  EXPECT_EQ(traced.rows[0].history.size(), traced.rows[0].rounds);
+  EXPECT_EQ(traced.rows[0].rounds, plain.rows[0].rounds);
+}
+
+TEST(GossipCapTest, GossipCapExceedsBroadcastCap) {
+  // defaultRoundCap encodes the paper's broadcast bound; gossip runs
+  // need more headroom (the ping-pong needs ~2n, and only a stall
+  // detector bounds adaptive adversaries).
+  for (const std::size_t n : {2u, 4u, 16u, 64u, 1024u, 65536u}) {
+    EXPECT_GT(defaultGossipRoundCap(n), defaultRoundCap(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace dynbcast

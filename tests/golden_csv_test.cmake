@@ -1,16 +1,18 @@
-# Bit-identity regression for the thm31 sweep: runs the bench binary and
+# Bit-identity regression for sweep CSVs: runs a sweep binary and
 # byte-compares its --csv artifact against the committed golden file.
 # Invoked by ctest (see CMakeLists.txt) with:
-#   -DBENCH=<path to bench_thm31_adversary_sweep>
+#   -DBENCH=<path to bench_thm31_adversary_sweep or the dynbcast CLI>
+#   -DSUBCOMMAND=<optional subcommand, e.g. sweep for the dynbcast CLI>
 #   -DJOBS=<worker count>  (1 and 8 both must reproduce the golden bytes)
+#   -DSIZES=<--sizes sweep spec, e.g. 4:128:4>
 #   -DGOLDEN=<committed CSV>
 #   -DOUT=<scratch output path>
 execute_process(
-  COMMAND ${BENCH} --sizes=4:128:4 --jobs=${JOBS} --csv=${OUT}
+  COMMAND ${BENCH} ${SUBCOMMAND} --sizes=${SIZES} --jobs=${JOBS} --csv=${OUT}
   RESULT_VARIABLE run_rc
   OUTPUT_QUIET)
 if(NOT run_rc EQUAL 0)
-  message(FATAL_ERROR "bench run failed (rc=${run_rc})")
+  message(FATAL_ERROR "sweep run failed (rc=${run_rc})")
 endif()
 
 execute_process(
@@ -18,7 +20,7 @@ execute_process(
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR
-    "thm31 sweep CSV (jobs=${JOBS}) differs from the golden file "
-    "${GOLDEN} — the kernel rewrite changed observable results. If the "
-    "change is intended, regenerate the golden with the command above.")
+    "sweep CSV (jobs=${JOBS}, sizes=${SIZES}) differs from the golden "
+    "file ${GOLDEN} — observable results changed. If the change is "
+    "intended, regenerate the golden with the command above.")
 endif()

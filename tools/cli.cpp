@@ -1,0 +1,359 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+
+#include "bench/driver.h"
+#include "src/adversary/beam.h"
+#include "src/adversary/portfolio.h"
+#include "src/adversary/registry.h"
+#include "src/analysis/csv.h"
+#include "src/bounds/theorem.h"
+#include "src/engine/scenario.h"
+#include "src/support/options.h"
+#include "src/support/table.h"
+
+namespace dynbcast::cli {
+
+namespace {
+
+/// Uniform error surface: subcommands throw std::invalid_argument for
+/// user errors (bad flags, unknown specs); this catches and reports.
+template <typename F>
+int guarded(F&& body) {
+  try {
+    return body();
+  } catch (const std::exception& e) {
+    std::cerr << "dynbcast: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+int usage(std::ostream& os) {
+  os << "usage: dynbcast <subcommand> [flags]\n\n"
+        "subcommands:\n"
+        "  sweep      Theorem 3.1 sweep: adversary portfolio + beam "
+        "witnesses vs the paper's bracket\n"
+        "             [--sizes=4:128:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
+        "             [--csv=path] [--adversaries=SPECS] [--beam-maxn=32] "
+        "[--beam-width=256]\n"
+        "  portfolio  general scenario runner over objective x dynamics x "
+        "adversaries\n"
+        "             [--objective=broadcast|gossip] "
+        "[--dynamics=rooted-tree|restricted|nonsplit]\n"
+        "             [--sizes=8:64:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
+        "             [--cap=ROUNDS] [--csv=path] [--adversaries=SPECS]\n"
+        "  duel       all listed adversaries fight one instance\n"
+        "             [--n=32] [--seed=7] [--adversaries=SPECS] "
+        "[--csv=path]\n"
+        "  witness    offline beam witness search with verification\n"
+        "             [--n=16] [--seed=7] [--beam=256] [--restarts=3]\n"
+        "  list       registered adversary specs and scenario vocabulary\n"
+        "\n"
+        "adversary SPECS are ';'-separated registry spec strings, e.g.\n"
+        "  --adversaries=\"static-path;freeze-path:depth=3;beam:width=64\"\n";
+  return 2;
+}
+
+}  // namespace
+
+std::vector<std::string> splitSpecList(const std::string& text) {
+  std::vector<std::string> specs;
+  std::string current;
+  for (const char c : text) {
+    if (c == ';' || c == '\n') {
+      if (!current.empty()) specs.push_back(current);
+      current.clear();
+      continue;
+    }
+    if ((c == ' ' || c == '\t') && current.empty()) continue;
+    current += c;
+  }
+  if (!current.empty()) specs.push_back(current);
+  for (std::string& spec : specs) {
+    while (!spec.empty() && (spec.back() == ' ' || spec.back() == '\t')) {
+      spec.pop_back();
+    }
+  }
+  return specs;
+}
+
+int runSweep(int argc, const char* const* argv) {
+  return guarded([&] {
+    BenchDriver driver(argc, argv, "4:128:2", 1);
+    // Beam witness search is the strongest (offline) adversary; it costs
+    // real time and its advantage concentrates at small-to-mid n, so it
+    // runs only up to a size cap by default.
+    const std::size_t beamMaxN = driver.options().getUInt("beam-maxn", 32);
+    BeamConfig beamCfg;
+    beamCfg.beamWidth = driver.options().getUInt("beam-width", 256);
+    beamCfg.randomMovesPerState = 8;
+    beamCfg.diversityPercent = 40;
+
+    driver.printHeader("THM31 — adversaries vs Theorem 3.1");
+    std::cout << "best t* = max(online portfolio, offline beam witness for "
+                 "n <= "
+              << beamMaxN << ")\n\n";
+
+    // Portfolio sweep as a declarative scenario: sizes × seed replicates
+    // × adversary specs (default = the standard portfolio).
+    ScenarioSpec scenario;
+    scenario.sizes = driver.sizes();
+    scenario.masterSeed = driver.seed();
+    scenario.seedsPerSize = driver.seedsPerSize();
+    scenario.adversaries =
+        splitSpecList(driver.options().getString("adversaries", ""));
+    const ScenarioResult sweep = runScenario(scenario, driver.engine());
+
+    // Beam witnesses fan out too: one task per size within the beam cap.
+    const std::vector<std::size_t>& sizes = driver.sizes();
+    const auto beamRows = driver.engine().map<std::size_t>(
+        sizes.size(), driver.seed() ^ 0xbea3ull,
+        [&](std::size_t i, std::uint64_t taskSeed) -> std::size_t {
+          const std::size_t n = sizes[i];
+          if (n > beamMaxN) return 0;
+          const BeamResult witness = beamSearchWitness(n, taskSeed, beamCfg);
+          return verifyWitness(n, witness.witness) == witness.rounds
+                     ? witness.rounds
+                     : 0;
+        });
+
+    TextTable table({"n", "lower bound", "portfolio t*", "beam witness t*",
+                     "best t*", "upper bound", "t*/n", "upper ok"});
+    bool anyViolation = false;
+    const std::size_t replicates = driver.seedsPerSize();
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t n = sizes[i];
+      // Portfolio t* for this n: best over its --seeds replicates (the
+      // instances are size-major, replicates contiguous).
+      std::size_t portfolioBest = 0;
+      for (std::size_t r = 0; r < replicates; ++r) {
+        portfolioBest = std::max(
+            portfolioBest,
+            sweep.instances[i * replicates + r].portfolio.bestRounds);
+      }
+      const std::size_t beamRounds = beamRows[i];
+      const std::size_t best = std::max(portfolioBest, beamRounds);
+      const TheoremCheck check = checkTheorem31(n, best);
+      anyViolation |= !check.withinUpper;
+      table.row()
+          .add(static_cast<std::uint64_t>(n))
+          .add(check.lower)
+          .add(static_cast<std::uint64_t>(portfolioBest))
+          .add(beamRounds == 0 ? std::string("-")
+                               : std::to_string(beamRounds))
+          .add(static_cast<std::uint64_t>(best))
+          .add(check.upper)
+          .add(check.ratio, 3)
+          .add(check.withinUpper ? "yes" : "VIOLATION");
+    }
+    driver.emit(table);
+
+    if (!sweep.instances.empty()) {
+      // The detail rows come straight from the sweep — no second run.
+      const SweepInstance& last = sweep.instances.back();
+      std::cout << "per-adversary detail at the largest n:\n";
+      TextTable per({"adversary", "t*", "t*/n", "completed"});
+      for (const auto& e : last.portfolio.entries) {
+        per.row()
+            .add(e.name)
+            .add(static_cast<std::uint64_t>(e.rounds))
+            .add(static_cast<double>(e.rounds) /
+                     static_cast<double>(last.n),
+                 3)
+            .add(e.completed ? "yes" : "no");
+      }
+      std::cout << per.render() << '\n';
+    }
+
+    if (anyViolation) {
+      std::cout << "RESULT: UPPER BOUND VIOLATION DETECTED (bug!)\n";
+      return 1;
+    }
+    std::cout << "RESULT: all runs within the theorem's upper bound.\n";
+    return 0;
+  });
+}
+
+int runPortfolio(int argc, const char* const* argv) {
+  return guarded([&] {
+    BenchDriver driver(argc, argv, "8:64:2", 1);
+    ScenarioSpec scenario;
+    scenario.objective =
+        parseObjective(driver.options().getString("objective", "broadcast"));
+    scenario.dynamics = parseDynamics(
+        driver.options().getString("dynamics", "rooted-tree"));
+    scenario.sizes = driver.sizes();
+    scenario.masterSeed = driver.seed();
+    scenario.seedsPerSize = driver.seedsPerSize();
+    scenario.roundCap = driver.options().getUInt("cap", 0);
+    scenario.adversaries =
+        splitSpecList(driver.options().getString("adversaries", ""));
+
+    driver.printHeader("SCENARIO — objective=" +
+                       objectiveName(scenario.objective) +
+                       ", dynamics=" + dynamicsName(scenario.dynamics));
+    const ScenarioResult result = runScenario(scenario, driver.engine());
+
+    TextTable table(
+        {"n", "seed", "adversary", "rounds", "rounds/n", "completed"});
+    for (const ScenarioRow& row : result.rows) {
+      table.row()
+          .add(static_cast<std::uint64_t>(row.n))
+          .add(static_cast<std::uint64_t>(row.seedIndex))
+          .add(row.member)
+          .add(static_cast<std::uint64_t>(row.rounds))
+          .add(static_cast<double>(row.rounds) /
+                   static_cast<double>(row.n),
+               3)
+          .add(row.completed ? "yes" : "no");
+    }
+    driver.emit(table);
+
+    std::cout << "strongest adversary per instance (Definition 2.3's "
+                 "max over the listed specs):\n";
+    TextTable best({"n", "seed", "best adversary", "best rounds"});
+    for (const SweepInstance& instance : result.instances) {
+      best.row()
+          .add(static_cast<std::uint64_t>(instance.n))
+          .add(static_cast<std::uint64_t>(instance.seedIndex))
+          .add(instance.portfolio.bestName.empty()
+                   ? std::string("- (none completed)")
+                   : instance.portfolio.bestName)
+          .add(static_cast<std::uint64_t>(instance.portfolio.bestRounds));
+    }
+    std::cout << best.render() << '\n';
+    return 0;
+  });
+}
+
+int runDuel(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    const std::size_t n = opts.getUInt("n", 32);
+    const std::uint64_t seed = opts.getUInt("seed", 7);
+    std::vector<std::string> specs =
+        splitSpecList(opts.getString("adversaries", ""));
+    if (specs.empty()) specs = standardPortfolioSpecs();
+
+    std::cout << "adversary duel at n = " << n << " (seed " << seed
+              << ")\n\n";
+    const PortfolioResult result =
+        runPortfolio(n, seed, membersFromSpecs(specs, n, seed));
+
+    TextTable table({"adversary", "t*", "t*/n", "vs static path"});
+    for (const auto& e : result.entries) {
+      const double ratio =
+          static_cast<double>(e.rounds) / static_cast<double>(n);
+      const std::int64_t delta = static_cast<std::int64_t>(e.rounds) -
+                                 static_cast<std::int64_t>(n - 1);
+      table.row()
+          .add(e.name)
+          .add(static_cast<std::uint64_t>(e.rounds))
+          .add(ratio, 3)
+          .add((delta >= 0 ? "+" : "") + std::to_string(delta));
+    }
+    std::cout << table.render() << '\n';
+    if (opts.has("csv")) {
+      const std::string path = opts.getString("csv", "duel.csv");
+      writeCsv(path, table);
+      std::cout << "wrote CSV to " << path << '\n';
+    }
+
+    const TheoremCheck check = checkTheorem31(n, result.bestRounds);
+    std::cout << "champion: " << result.bestName
+              << " with t* = " << result.bestRounds << "\n"
+              << "Theorem 3.1 bracket [" << check.lower << ", "
+              << check.upper << "]; champion ratio " << check.ratio << "\n";
+    return 0;
+  });
+}
+
+int runWitness(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    const std::size_t n = opts.getUInt("n", 16);
+    const std::uint64_t seed = opts.getUInt("seed", 7);
+    const std::size_t restarts = opts.getUInt("restarts", 3);
+
+    BeamConfig cfg;
+    cfg.beamWidth = opts.getUInt("beam", 256);
+    cfg.randomMovesPerState = 8;
+    cfg.diversityPercent = 40;
+
+    std::cout << "beam witness search at n = " << n << " (beam "
+              << cfg.beamWidth << ", " << restarts << " restarts)\n\n";
+
+    BeamResult best;
+    for (std::size_t r = 0; r < restarts; ++r) {
+      BeamResult attempt = beamSearchWitness(n, seed + r, cfg);
+      std::cout << "restart " << r << ": " << attempt.rounds << " rounds ("
+                << attempt.statesExpanded << " states)\n";
+      if (attempt.rounds > best.rounds) best = std::move(attempt);
+    }
+
+    const std::size_t verified = verifyWitness(n, best.witness);
+    std::cout << "\nbest witness: " << best.rounds
+              << " rounds; independent replay says " << verified << '\n';
+
+    const TheoremCheck check = checkTheorem31(n, verified);
+    std::cout << "Theorem 3.1: t*(T_" << n << ") >= " << verified
+              << ", bracket [" << check.lower << ", " << check.upper
+              << "], ratio " << check.ratio << '\n';
+    std::cout << "static baseline (best single tree): " << n - 1 << " — "
+              << (verified > n - 1 ? "beaten: dynamic adversaries are "
+                                     "strictly stronger"
+                                   : "not beaten at this search effort")
+              << '\n';
+    return verified == best.rounds ? 0 : 1;
+  });
+}
+
+int runList(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    (void)opts;
+    const AdversaryRegistry& registry = AdversaryRegistry::instance();
+    std::cout << "registered adversaries (spec grammar: "
+                 "name[:key=value[,key=value]...]):\n\n";
+    for (const std::string& name : registry.names()) {
+      const AdversaryInfo& info = registry.info(name);
+      std::cout << "  " << name << "\n      " << info.description << '\n';
+      for (const AdversaryParamDoc& param : info.params) {
+        std::cout << "      " << param.key << "=" << param.defaultValue
+                  << "  " << param.description << '\n';
+      }
+    }
+    std::cout << "\nscenario vocabulary (portfolio subcommand):\n"
+                 "  --objective=broadcast|gossip\n"
+                 "  --dynamics=rooted-tree|restricted|nonsplit\n"
+                 "  nonsplit generators: nonsplit-random[:edges=E] "
+                 "(E=0 means 2n), nonsplit-skewed\n";
+    return 0;
+  });
+}
+
+int dispatch(int argc, const char* const* argv) {
+  if (argc < 2) return usage(std::cerr);
+  const std::string subcommand = argv[1];
+  if (subcommand == "sweep") return runSweep(argc - 1, argv + 1);
+  if (subcommand == "portfolio") return runPortfolio(argc - 1, argv + 1);
+  if (subcommand == "duel") return runDuel(argc - 1, argv + 1);
+  if (subcommand == "witness") return runWitness(argc - 1, argv + 1);
+  if (subcommand == "list") return runList(argc - 1, argv + 1);
+  if (subcommand == "help" || subcommand == "--help" || subcommand == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  std::cerr << "dynbcast: unknown subcommand '" << subcommand << "'";
+  const std::string suggestion = closestMatch(
+      subcommand, {"sweep", "portfolio", "duel", "witness", "list"});
+  if (!suggestion.empty()) {
+    std::cerr << "; did you mean '" << suggestion << "'?";
+  }
+  std::cerr << "\n\n";
+  return usage(std::cerr);
+}
+
+}  // namespace dynbcast::cli

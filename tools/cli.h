@@ -1,0 +1,45 @@
+// The dynbcast CLI: one binary over the whole experiment surface.
+//
+// Subcommands (each also callable as a library function, so bench
+// binaries can forward to them — bench_thm31_adversary_sweep is
+// `cli::runSweep` under its historical name):
+//
+//   sweep      Theorem 3.1 reproduction: portfolio sweep + beam
+//              witnesses vs the paper's bracket. The committed golden
+//              CSVs are byte-identical artifacts of this command.
+//   portfolio  the general scenario runner: any objective × dynamics ×
+//              adversary spec list, unified per-run rows.
+//   duel       every listed adversary fights one (n, seed) instance;
+//              champion vs the theorem bracket.
+//   witness    offline beam witness search at one n, with verification.
+//   list       all registered adversary specs with their parameters.
+//
+// Every subcommand that sweeps sizes speaks the shared bench/driver
+// dialect (--sizes/--seed/--seeds/--jobs/--csv); adversary lists are
+// semicolon-separated registry spec strings, e.g.
+//   --adversaries="static-path;freeze-path:depth=3;beam:width=64".
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dynbcast::cli {
+
+/// Splits an --adversaries flag value on ';' (and newlines), trimming
+/// whitespace and dropping empties — "a;b;c" → {a, b, c}.
+[[nodiscard]] std::vector<std::string> splitSpecList(const std::string& text);
+
+/// Subcommand entry points. argv[0] is the program/subcommand name;
+/// flags follow. Each returns a process exit code and reports
+/// std::invalid_argument errors on stderr.
+int runSweep(int argc, const char* const* argv);
+int runPortfolio(int argc, const char* const* argv);
+int runDuel(int argc, const char* const* argv);
+int runWitness(int argc, const char* const* argv);
+int runList(int argc, const char* const* argv);
+
+/// Full-argv dispatcher used by the dynbcast binary: argv[1] selects the
+/// subcommand; no/unknown subcommand prints usage.
+int dispatch(int argc, const char* const* argv);
+
+}  // namespace dynbcast::cli

@@ -1,0 +1,6 @@
+// dynbcast: the one CLI over the whole experiment engine — see
+// tools/cli.h for the subcommand surface and README.md ("The dynbcast
+// CLI") for the spec-string grammar.
+#include "tools/cli.h"
+
+int main(int argc, char** argv) { return dynbcast::cli::dispatch(argc, argv); }
