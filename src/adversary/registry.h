@@ -32,40 +32,13 @@
 #include <vector>
 
 #include "src/adversary/adversary.h"
+#include "src/support/spec.h"
 
 namespace dynbcast {
 
-/// Typed view of one spec's key=value bag. Values are stored as strings
-/// and converted on access; conversion failures throw
-/// std::invalid_argument naming the offending key and value.
-class AdversaryParams {
- public:
-  AdversaryParams() = default;
-  explicit AdversaryParams(std::map<std::string, std::string> values)
-      : values_(std::move(values)) {}
-
-  [[nodiscard]] bool has(const std::string& key) const {
-    return values_.count(key) != 0;
-  }
-  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
-
-  [[nodiscard]] std::uint64_t getUInt(const std::string& key,
-                                      std::uint64_t fallback) const;
-  [[nodiscard]] double getDouble(const std::string& key,
-                                 double fallback) const;
-  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
-  [[nodiscard]] std::string getString(const std::string& key,
-                                      const std::string& fallback) const;
-
-  /// Sorted key → value map (std::map keeps printing canonical).
-  [[nodiscard]] const std::map<std::string, std::string>& values()
-      const noexcept {
-    return values_;
-  }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+/// Typed key=value bag of one adversary spec — the shared grammar's
+/// parameter type (src/support/spec.h), which DynamicsRegistry also uses.
+using AdversaryParams = SpecParams;
 
 /// A parsed adversary spec string: base name + parameter bag.
 struct AdversarySpec {
@@ -151,11 +124,5 @@ class AdversaryRegistry {
  private:
   std::map<std::string, AdversaryInfo> entries_;
 };
-
-/// "did you mean" helper shared by the registry and the scenario layer:
-/// the candidate closest to `word` in edit distance, or empty when
-/// nothing is within distance 3.
-[[nodiscard]] std::string closestMatch(const std::string& word,
-                                       const std::vector<std::string>& pool);
 
 }  // namespace dynbcast

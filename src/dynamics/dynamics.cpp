@@ -1,0 +1,69 @@
+#include "src/dynamics/dynamics.h"
+
+#include "src/graph/properties.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+std::string dynamicsClassName(DynamicsClass c) {
+  switch (c) {
+    case DynamicsClass::kRootedTree:
+      return "rooted-tree";
+    case DynamicsClass::kNonsplit:
+      return "nonsplit";
+    case DynamicsClass::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+namespace {
+
+void assertClass(const BitMatrix& g, std::size_t n, DynamicsClass c) {
+  DYNBCAST_ASSERT_MSG(g.dim() == n, "dynamics model emitted the wrong size");
+  DYNBCAST_ASSERT_MSG(g.isReflexive(),
+                      "dynamics model emitted a non-reflexive graph");
+  switch (c) {
+    case DynamicsClass::kRootedTree:
+      DYNBCAST_ASSERT_MSG(isRootedTreeWithSelfLoops(g),
+                          "dynamics model declared rooted-tree but emitted "
+                          "a graph outside T_n");
+      break;
+    case DynamicsClass::kNonsplit:
+      DYNBCAST_ASSERT_MSG(isNonsplit(g),
+                          "dynamics model declared nonsplit but emitted a "
+                          "split graph");
+      break;
+    case DynamicsClass::kNone:
+      break;
+  }
+}
+
+}  // namespace
+
+BroadcastRun runDynamicsBroadcast(std::size_t n, DynamicsModel& model,
+                                  std::size_t maxRounds, bool recordHistory) {
+  model.reset();
+  BroadcastSim sim(n);
+  BroadcastRun run;
+  if (sim.broadcastDone()) {
+    run.completed = true;
+    return run;
+  }
+  while (sim.round() < maxRounds) {
+    const BitMatrix g = model.nextGraph(sim);
+    assertClass(g, n, model.graphClass());
+    sim.applyGraph(g);
+    if (recordHistory) run.history.push_back(sim.metrics());
+    if (sim.broadcastDone()) {
+      run.rounds = sim.round();
+      run.completed = true;
+      return run;
+    }
+  }
+  run.rounds = sim.round();
+  run.completed = false;
+  return run;
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,81 @@
+// DynamicsModel: a per-round communication-graph generator — the "which
+// network?" axis of an experiment, made first-class.
+//
+// The paper fixes the dynamics to adversarially chosen rooted trees and
+// proves broadcast is linear there. Related work studies the same
+// broadcast question on other dynamic-graph models: nonsplit graphs
+// (Charron-Bost & Schiper; Függer–Nowak–Winkler), T-interval-connected
+// and edge-Markovian dynamics (Kuhn–Lynch–Oshman and the random-evolution
+// line). A DynamicsModel packages one such model as an object that emits
+// the round-t communication graph, with two declared contracts:
+//
+//   * graphClass(): a structural property every emitted graph satisfies
+//     (rooted-tree-with-self-loops, nonsplit, or none beyond
+//     reflexivity). runDynamicsBroadcast re-checks it every round, so a
+//     model that lies about its class fails loudly.
+//   * deterministic replay: all randomness flows from the (n, seed) the
+//     model was constructed with, and reset() rewinds it to that seed —
+//     so position-derived seeds give bit-identical sweeps at any job
+//     count, and a replayed run reproduces its graphs exactly.
+//
+// Models are constructed by name through the DynamicsRegistry
+// (src/dynamics/registry.h), the dynamics-axis twin of the
+// AdversaryRegistry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/bitmatrix.h"
+#include "src/sim/broadcast_sim.h"
+
+namespace dynbcast {
+
+/// The structural guarantee a model declares for every graph it emits
+/// (always in addition to reflexivity — self-loops model "no forgetting").
+enum class DynamicsClass {
+  kRootedTree,  ///< a member of T_n: rooted tree + self-loops (paper §2)
+  kNonsplit,    ///< every pair of nodes has a common in-neighbor ([2]/[9])
+  kNone         ///< reflexive only (e.g. edge-Markovian snapshots)
+};
+
+[[nodiscard]] std::string dynamicsClassName(DynamicsClass c);
+
+class DynamicsModel {
+ public:
+  virtual ~DynamicsModel() = default;
+
+  DynamicsModel() = default;
+  DynamicsModel(const DynamicsModel&) = delete;
+  DynamicsModel& operator=(const DynamicsModel&) = delete;
+
+  /// The communication graph for round state.round() + 1. Must be
+  /// reflexive, of dimension state.processCount(), and satisfy
+  /// graphClass(); the driver asserts all three.
+  [[nodiscard]] virtual BitMatrix nextGraph(const BroadcastSim& state) = 0;
+
+  /// Canonical spec string this model was built from (registry grammar),
+  /// e.g. "edge-markovian:p=0.2,q=0.1" — the sweep-row display name.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  [[nodiscard]] virtual DynamicsClass graphClass() const = 0;
+
+  /// The model's own stall-detection round cap for its construction size
+  /// (the ⌈log₂ n⌉ regime needs far less headroom than a linear one).
+  [[nodiscard]] virtual std::size_t defaultRoundCap() const = 0;
+
+  /// Rewinds to the constructed seed: the next nextGraph() sequence
+  /// replays the previous one exactly.
+  virtual void reset() {}
+};
+
+/// Drives a BroadcastSim with graphs from `model` (reset first) until
+/// broadcast completes or maxRounds is hit, asserting the model's
+/// declared graph class every round. The stochastic twin of
+/// runAdversary().
+[[nodiscard]] BroadcastRun runDynamicsBroadcast(std::size_t n,
+                                                DynamicsModel& model,
+                                                std::size_t maxRounds,
+                                                bool recordHistory = false);
+
+}  // namespace dynbcast

@@ -1,0 +1,501 @@
+#include "src/dynamics/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "src/adversary/portfolio.h"
+#include "src/bounds/bounds.h"
+#include "src/nonsplit/nonsplit.h"
+#include "src/support/rng.h"
+#include "src/tree/generators.h"
+
+namespace dynbcast {
+
+namespace {
+
+/// Stall-detector cap for the stochastic models with no sharper published
+/// bound here (edge-Markovian, T-interval): oblivious dynamic sequences
+/// finish broadcast within O(n), so ~10n with slack separates "slow" from
+/// "never" — the same margin defaultGossipRoundCap uses.
+[[nodiscard]] std::size_t stochasticStallCap(std::size_t n) {
+  return 10 * n + 50;
+}
+
+/// Shared base: owns the (n, seed) identity, the replayable RNG, and the
+/// canonical display name.
+class SeededGraphModel : public DynamicsModel {
+ public:
+  SeededGraphModel(std::size_t n, std::uint64_t seed, std::string name)
+      : n_(n), seed_(seed), rng_(seed), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void reset() override { rng_ = Rng(seed_); }
+
+ protected:
+  std::size_t n_;
+  std::uint64_t seed_;
+  Rng rng_;
+
+ private:
+  std::string name_;
+};
+
+/// "nonsplit-random": a fresh random nonsplit graph every round — extra
+/// random edges (count or Bernoulli density) plus the repair pass.
+class NonsplitRandomModel final : public SeededGraphModel {
+ public:
+  NonsplitRandomModel(std::size_t n, std::uint64_t seed, std::size_t edges,
+                      double p, std::string name)
+      : SeededGraphModel(n, seed, std::move(name)), edges_(edges), p_(p) {}
+
+  BitMatrix nextGraph(const BroadcastSim&) override {
+    if (p_ > 0.0) return bernoulliNonsplitGraph(n_, p_, rng_);
+    return randomNonsplitGraph(n_, edges_ != 0 ? edges_ : 2 * n_, rng_);
+  }
+
+  [[nodiscard]] DynamicsClass graphClass() const override {
+    return DynamicsClass::kNonsplit;
+  }
+
+  [[nodiscard]] std::size_t defaultRoundCap() const override {
+    return static_cast<std::size_t>(bounds::nonsplitLogUpper(n_)) + 8;
+  }
+
+ private:
+  std::size_t edges_;
+  double p_;
+};
+
+/// "nonsplit-skewed": every pair's common in-neighbor is biased towards
+/// low indices — few dispatchers do most of the informing.
+class NonsplitSkewedModel final : public SeededGraphModel {
+ public:
+  NonsplitSkewedModel(std::size_t n, std::uint64_t seed, std::string name)
+      : SeededGraphModel(n, seed, std::move(name)) {}
+
+  BitMatrix nextGraph(const BroadcastSim&) override {
+    return skewedNonsplitGraph(n_, rng_);
+  }
+
+  [[nodiscard]] DynamicsClass graphClass() const override {
+    return DynamicsClass::kNonsplit;
+  }
+
+  [[nodiscard]] std::size_t defaultRoundCap() const override {
+    return static_cast<std::size_t>(bounds::nonsplitLogUpper(n_)) + 8;
+  }
+};
+
+/// "edge-markovian": every directed non-loop edge is an independent
+/// two-state Markov chain — absent edges are born with probability p,
+/// present edges die with probability q (Kuhn–Lynch–Oshman's
+/// edge-Markovian evolving graphs). Round 1 is a stationary draw
+/// (density p/(p+q)); later rounds evolve it one step.
+class EdgeMarkovianModel final : public SeededGraphModel {
+ public:
+  EdgeMarkovianModel(std::size_t n, std::uint64_t seed, double p, double q,
+                     std::string name)
+      : SeededGraphModel(n, seed, std::move(name)),
+        p_(p),
+        q_(q),
+        edges_(n) {}
+
+  BitMatrix nextGraph(const BroadcastSim&) override {
+    if (!started_) {
+      const double stationary = p_ + q_ > 0.0 ? p_ / (p_ + q_) : 1.0;
+      edges_ = BitMatrix(n_);
+      for (std::size_t x = 0; x < n_; ++x) {
+        for (std::size_t y = 0; y < n_; ++y) {
+          if (x != y && rng_.chance(stationary)) edges_.set(x, y);
+        }
+      }
+      started_ = true;
+    } else {
+      for (std::size_t x = 0; x < n_; ++x) {
+        for (std::size_t y = 0; y < n_; ++y) {
+          if (x == y) continue;
+          if (edges_.get(x, y)) {
+            if (rng_.chance(q_)) edges_.reset(x, y);
+          } else {
+            if (rng_.chance(p_)) edges_.set(x, y);
+          }
+        }
+      }
+    }
+    BitMatrix g = edges_;
+    for (std::size_t v = 0; v < n_; ++v) g.set(v, v);
+    return g;
+  }
+
+  [[nodiscard]] DynamicsClass graphClass() const override {
+    return DynamicsClass::kNone;
+  }
+
+  [[nodiscard]] std::size_t defaultRoundCap() const override {
+    return stochasticStallCap(n_);
+  }
+
+  void reset() override {
+    SeededGraphModel::reset();
+    started_ = false;
+  }
+
+ private:
+  double p_;
+  double q_;
+  BitMatrix edges_;
+  bool started_ = false;
+};
+
+/// "t-interval": a uniformly random spanning tree, symmetrized (both
+/// directions + self-loops), held stable for T consecutive rounds, then
+/// redrawn — the T-interval-connectivity regime of Kuhn–Lynch–Oshman.
+class TIntervalModel final : public SeededGraphModel {
+ public:
+  TIntervalModel(std::size_t n, std::uint64_t seed, std::size_t period,
+                 std::string name)
+      : SeededGraphModel(n, seed, std::move(name)), period_(period) {}
+
+  BitMatrix nextGraph(const BroadcastSim&) override {
+    if (age_ == 0) {
+      const RootedTree tree = randomRootedTree(n_, rng_);
+      current_ = BitMatrix::identity(n_);
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (v == tree.root()) continue;
+        current_.set(tree.parent(v), v);
+        current_.set(v, tree.parent(v));
+      }
+    }
+    age_ = (age_ + 1) % period_;
+    return current_;
+  }
+
+  [[nodiscard]] DynamicsClass graphClass() const override {
+    return DynamicsClass::kNone;
+  }
+
+  [[nodiscard]] std::size_t defaultRoundCap() const override {
+    return stochasticStallCap(n_);
+  }
+
+  void reset() override {
+    SeededGraphModel::reset();
+    age_ = 0;
+    current_ = BitMatrix();
+  }
+
+ private:
+  std::size_t period_;
+  std::size_t age_ = 0;
+  BitMatrix current_;
+};
+
+void registerBuiltins(DynamicsRegistry& reg) {
+  // The paper's model --------------------------------------------------------
+  {
+    DynamicsInfo info;
+    info.name = "rooted-tree";
+    info.description =
+        "adversary-chosen rooted trees on [n]; broadcast is Theta(n) "
+        "(Theorem 3.1)";
+    info.literature = "El-Hayek, Henzinger & Schmid (this paper)";
+    info.mode = DynamicsMode::kAdversaryTrees;
+    info.graphClass = DynamicsClass::kRootedTree;
+    info.defaultAdversaries = [](const DynamicsParams&) {
+      return standardPortfolioSpecs();
+    };
+    reg.add(std::move(info));
+  }
+  {
+    DynamicsInfo info;
+    info.name = "restricted";
+    info.description =
+        "adversary trees restricted to the k-leaf / k-inner classes "
+        "(O(kn) broadcast)";
+    info.literature = "restricted tree classes of [14]";
+    info.mode = DynamicsMode::kAdversaryTrees;
+    info.graphClass = DynamicsClass::kRootedTree;
+    info.params = {
+        {"class", "any",
+         "which restricted class: any | k-leaf | k-inner | broom"},
+        {"k", "2", "class parameter (leaves / inner nodes / handle length)"}};
+    info.validateParams = [](const DynamicsParams& params) {
+      const std::string cls = params.getString("class", "any");
+      if (cls != "any" && cls != "k-leaf" && cls != "k-inner" &&
+          cls != "broom") {
+        throw std::invalid_argument(
+            "dynamics 'restricted': class must be one of any, k-leaf, "
+            "k-inner, broom (got '" +
+            cls + "')");
+      }
+      if (params.getUInt("k", 2) < 1) {
+        throw std::invalid_argument(
+            "dynamics 'restricted': k must be >= 1");
+      }
+    };
+    info.defaultAdversaries = [](const DynamicsParams& params) {
+      const std::string cls = params.getString("class", "any");
+      const std::string k = std::to_string(params.getUInt("k", 2));
+      std::vector<std::string> specs;
+      if (cls == "any" || cls == "k-leaf") specs.push_back("k-leaf:k=" + k);
+      if (cls == "any" || cls == "k-inner") specs.push_back("k-inner:k=" + k);
+      if (cls == "any" || cls == "broom") {
+        specs.push_back("freeze-broom:handle=" + k);
+      }
+      return specs;
+    };
+    info.admissibleAdversaries = {"k-leaf", "k-inner", "freeze-broom"};
+    reg.add(std::move(info));
+  }
+
+  // Nonsplit graphs ([2]/[9]) ------------------------------------------------
+  {
+    DynamicsInfo info;
+    info.name = "nonsplit";
+    info.description =
+        "DEPRECATED alias: generator names ride in the adversaries list "
+        "(old scenario form)";
+    info.literature = "Charron-Bost & Schiper [2]; Fuegger-Nowak-Winkler [9]";
+    info.mode = DynamicsMode::kGeneratorList;
+    info.graphClass = DynamicsClass::kNonsplit;
+    info.stochastic = true;
+    info.defaultAdversaries = [](const DynamicsParams&) {
+      return std::vector<std::string>{"nonsplit-random", "nonsplit-skewed"};
+    };
+    info.deprecation =
+        "name the generator as the dynamics instead: "
+        "--dynamics=nonsplit-random (or nonsplit-skewed); the "
+        "adversaries-field form is kept for old invocations only";
+    reg.add(std::move(info));
+  }
+  {
+    DynamicsInfo info;
+    info.name = "nonsplit-random";
+    info.description =
+        "fresh random nonsplit graph every round: random extra edges + "
+        "common-in-neighbor repair";
+    info.literature = "Charron-Bost & Schiper [2] (log n broadcast)";
+    info.graphClass = DynamicsClass::kNonsplit;
+    info.stochastic = true;
+    info.params = {
+        {"edges", "0", "random extra edges before the repair; 0 = 2n"},
+        {"p", "0",
+         "Bernoulli edge density instead of a count; 0 = use edges"}};
+    info.validateParams = [](const DynamicsParams& params) {
+      if (params.has("edges") && params.has("p")) {
+        throw std::invalid_argument(
+            "dynamics 'nonsplit-random': give either edges= (a count) or "
+            "p= (a density), not both");
+      }
+      const double p = params.getDouble("p", 0.0);
+      if (p < 0.0 || p > 1.0) {
+        throw std::invalid_argument(
+            "dynamics 'nonsplit-random': p must be in [0, 1]");
+      }
+    };
+    // Range checks live in validateParams above; the registry's make()
+    // always validates before invoking a factory.
+    info.factory = [](std::size_t n, std::uint64_t seed,
+                      const DynamicsParams& params)
+        -> std::unique_ptr<DynamicsModel> {
+      return std::make_unique<NonsplitRandomModel>(
+          n, seed, params.getUInt("edges", 0), params.getDouble("p", 0.0),
+          formatSpec("nonsplit-random", params));
+    };
+    reg.add(std::move(info));
+  }
+  {
+    DynamicsInfo info;
+    info.name = "nonsplit-skewed";
+    info.description =
+        "nonsplit graphs whose common in-neighbors are biased towards few "
+        "low-index dispatchers";
+    info.literature = "slow regime of [2]/[9]";
+    info.graphClass = DynamicsClass::kNonsplit;
+    info.stochastic = true;
+    info.factory = [](std::size_t n, std::uint64_t seed,
+                      const DynamicsParams& params)
+        -> std::unique_ptr<DynamicsModel> {
+      return std::make_unique<NonsplitSkewedModel>(
+          n, seed, formatSpec("nonsplit-skewed", params));
+    };
+    reg.add(std::move(info));
+  }
+
+  // Kuhn-Lynch-Oshman-style dynamics -----------------------------------------
+  {
+    DynamicsInfo info;
+    info.name = "edge-markovian";
+    info.description =
+        "every directed edge is a 2-state Markov chain: born w.p. p, dies "
+        "w.p. q; round 1 is a stationary draw";
+    info.literature =
+        "edge-Markovian evolving graphs (Kuhn-Lynch-Oshman line; Clementi "
+        "et al.)";
+    info.graphClass = DynamicsClass::kNone;
+    info.stochastic = true;
+    info.params = {{"p", "0.2", "edge birth probability (0 < p <= 1)"},
+                   {"q", "0.1", "edge death probability (0 <= q <= 1)"}};
+    info.validateParams = [](const DynamicsParams& params) {
+      const double p = params.getDouble("p", 0.2);
+      const double q = params.getDouble("q", 0.1);
+      if (p <= 0.0 || p > 1.0) {
+        throw std::invalid_argument(
+            "dynamics 'edge-markovian': p must satisfy 0 < p <= 1 (p = 0 "
+            "would freeze an empty graph forever)");
+      }
+      if (q < 0.0 || q > 1.0) {
+        throw std::invalid_argument(
+            "dynamics 'edge-markovian': q must be in [0, 1]");
+      }
+    };
+    info.factory = [](std::size_t n, std::uint64_t seed,
+                      const DynamicsParams& params)
+        -> std::unique_ptr<DynamicsModel> {
+      return std::make_unique<EdgeMarkovianModel>(
+          n, seed, params.getDouble("p", 0.2), params.getDouble("q", 0.1),
+          formatSpec("edge-markovian", params));
+    };
+    reg.add(std::move(info));
+  }
+  {
+    DynamicsInfo info;
+    info.name = "t-interval";
+    info.description =
+        "a random spanning tree, symmetrized, stable for T rounds, then "
+        "rewired (T-interval connectivity)";
+    info.literature = "Kuhn, Lynch & Oshman (STOC '10)";
+    info.graphClass = DynamicsClass::kNone;
+    info.stochastic = true;
+    info.params = {{"T", "4", "rounds each spanning subgraph stays stable"}};
+    info.validateParams = [](const DynamicsParams& params) {
+      if (params.getUInt("T", 4) < 1) {
+        throw std::invalid_argument(
+            "dynamics 't-interval': T must be >= 1");
+      }
+    };
+    info.factory = [](std::size_t n, std::uint64_t seed,
+                      const DynamicsParams& params)
+        -> std::unique_ptr<DynamicsModel> {
+      return std::make_unique<TIntervalModel>(
+          n, seed, params.getUInt("T", 4),
+          formatSpec("t-interval", params));
+    };
+    reg.add(std::move(info));
+  }
+}
+
+}  // namespace
+
+DynamicsSpec DynamicsSpec::parse(const std::string& text) {
+  ParsedSpec parsed = parseSpec(text, "dynamics");
+  return DynamicsSpec{std::move(parsed.name), std::move(parsed.params)};
+}
+
+std::string DynamicsSpec::toString() const { return formatSpec(name, params); }
+
+DynamicsRegistry& DynamicsRegistry::instance() {
+  static DynamicsRegistry* registry = [] {
+    auto* r = new DynamicsRegistry();
+    registerBuiltins(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void DynamicsRegistry::add(DynamicsInfo info) {
+  if (!isValidSpecToken(info.name)) {
+    throw std::invalid_argument("dynamics registration '" + info.name +
+                                "': name must be non-empty [A-Za-z0-9._-]");
+  }
+  const bool needsFactory = info.mode == DynamicsMode::kGraphModel;
+  if (needsFactory != static_cast<bool>(info.factory)) {
+    throw std::invalid_argument(
+        "dynamics registration '" + info.name +
+        (needsFactory ? "': graph models need a factory"
+                      : "': only graph models take a factory"));
+  }
+  const std::string name = info.name;
+  if (!entries_.emplace(name, std::move(info)).second) {
+    throw std::invalid_argument("dynamics registration '" + name +
+                                "': name already registered");
+  }
+}
+
+std::vector<std::string> DynamicsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, info] : entries_) out.push_back(name);
+  return out;
+}
+
+const DynamicsInfo& DynamicsRegistry::info(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string message = "unknown dynamics model '" + name + "'";
+    const std::string suggestion = closestMatch(name, names());
+    if (!suggestion.empty()) {
+      message += "; did you mean '" + suggestion + "'?";
+    }
+    message += " (run 'dynbcast list' for the full model zoo)";
+    throw std::invalid_argument(message);
+  }
+  return it->second;
+}
+
+void DynamicsRegistry::validate(const DynamicsSpec& spec) const {
+  const DynamicsInfo& entry = info(spec.name);
+  std::vector<std::string> known;
+  known.reserve(entry.params.size());
+  for (const DynamicsParamDoc& doc : entry.params) known.push_back(doc.key);
+  for (const auto& [key, value] : spec.params.values()) {
+    if (std::find(known.begin(), known.end(), key) != known.end()) continue;
+    std::string message =
+        "dynamics '" + spec.name + "': unknown parameter '" + key + "'";
+    const std::string suggestion = closestMatch(key, known);
+    if (!suggestion.empty()) {
+      message += "; did you mean '" + suggestion + "'?";
+    }
+    if (known.empty()) {
+      message += " ('" + spec.name + "' takes no parameters)";
+    } else {
+      std::string keys;
+      for (const std::string& k : known) {
+        if (!keys.empty()) keys += ", ";
+        keys += k;
+      }
+      message += " (known parameters: " + keys + ")";
+    }
+    throw std::invalid_argument(message);
+  }
+  if (entry.validateParams) entry.validateParams(spec.params);
+}
+
+std::unique_ptr<DynamicsModel> DynamicsRegistry::make(
+    const DynamicsSpec& spec, std::size_t n, std::uint64_t seed) const {
+  validate(spec);
+  const DynamicsInfo& entry = info(spec.name);
+  if (entry.mode == DynamicsMode::kGeneratorList) {
+    throw std::invalid_argument(
+        "dynamics '" + spec.name +
+        "' is a deprecated alias with no standalone graph model; " +
+        entry.deprecation);
+  }
+  if (entry.mode != DynamicsMode::kGraphModel) {
+    throw std::invalid_argument(
+        "dynamics '" + spec.name +
+        "' is adversary-driven: its per-round graphs are the adversary's "
+        "moves, so it has no standalone graph model (run it through a "
+        "scenario with an adversary list instead)");
+  }
+  return entry.factory(n, seed, spec.params);
+}
+
+std::unique_ptr<DynamicsModel> DynamicsRegistry::make(
+    const std::string& spec, std::size_t n, std::uint64_t seed) const {
+  return make(DynamicsSpec::parse(spec), n, seed);
+}
+
+}  // namespace dynbcast

@@ -1,76 +1,26 @@
 #include "src/engine/scenario.h"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "src/adversary/adversary.h"
 #include "src/adversary/registry.h"
-#include "src/bounds/bounds.h"
-#include "src/nonsplit/nonsplit.h"
+#include "src/dynamics/registry.h"
 #include "src/sim/gossip.h"
-#include "src/support/assert.h"
 
 namespace dynbcast {
 
 namespace {
 
-/// The nonsplit dynamics universe: graph generators, not tree
-/// adversaries, so they live here instead of the AdversaryRegistry. Specs
-/// use the same name:key=value grammar.
-struct NonsplitGenerator {
-  std::string name;
-  std::string edgesDoc;  // empty = takes no parameters
-};
-
-const NonsplitGenerator kNonsplitGenerators[] = {
-    {"nonsplit-random",
-     "extra random edges before the nonsplit repair; 0 = 2n"},
-    {"nonsplit-skewed", ""},
-};
-
-[[nodiscard]] const NonsplitGenerator* findNonsplitGenerator(
-    const std::string& name) {
-  for (const NonsplitGenerator& gen : kNonsplitGenerators) {
-    if (gen.name == name) return &gen;
-  }
-  return nullptr;
-}
-
-[[nodiscard]] BitMatrix makeNonsplitGraph(const AdversarySpec& spec,
-                                          std::size_t n, Rng& rng) {
-  if (spec.name == "nonsplit-random") {
-    const std::size_t edges = spec.params.getUInt("edges", 0);
-    return randomNonsplitGraph(n, edges != 0 ? edges : 2 * n, rng);
-  }
-  DYNBCAST_ASSERT(spec.name == "nonsplit-skewed");
-  return skewedNonsplitGraph(n, rng);
-}
-
-void validateNonsplitSpec(const AdversarySpec& spec) {
-  const NonsplitGenerator* gen = findNonsplitGenerator(spec.name);
-  if (gen == nullptr) {
-    std::vector<std::string> pool;
-    for (const NonsplitGenerator& g : kNonsplitGenerators) {
-      pool.push_back(g.name);
-    }
-    std::string message = "dynamics 'nonsplit': unknown generator '" +
-                          spec.name + "'";
-    const std::string suggestion = closestMatch(spec.name, pool);
-    if (!suggestion.empty()) {
-      message += "; did you mean '" + suggestion + "'?";
-    }
-    message += " (known: nonsplit-random, nonsplit-skewed)";
-    throw std::invalid_argument(message);
-  }
-  for (const auto& [key, value] : spec.params.values()) {
-    if (!gen->edgesDoc.empty() && key == "edges") continue;
-    throw std::invalid_argument("nonsplit generator '" + spec.name +
-                                "': unknown parameter '" + key + "'" +
-                                (gen->edgesDoc.empty()
-                                     ? " (takes no parameters)"
-                                     : " (known parameters: edges)"));
-  }
+/// Member-index seed decorrelation for graph-model runs: a fixed odd
+/// multiplier on the member index (seeds stay position-derived, so any
+/// job count reproduces them). Matches the historical nonsplit-path
+/// derivation bit for bit.
+[[nodiscard]] std::uint64_t memberSeed(std::uint64_t instanceSeed,
+                                       std::size_t memberIndex) {
+  return instanceSeed ^ (0x9e3779b97f4a7c15ull * (memberIndex + 1));
 }
 
 [[nodiscard]] std::vector<std::string> resolvedSpecs(
@@ -79,7 +29,7 @@ void validateNonsplitSpec(const AdversarySpec& spec) {
                                   : spec.adversaries;
 }
 
-/// Instance plan shared by the gossip and nonsplit paths — the same
+/// Instance plan shared by the gossip and graph-model paths — the same
 /// sizes × replicates flattening (and position-derived seeds) as
 /// ExperimentEngine::runSweep, so row order and seeding match the
 /// broadcast path exactly.
@@ -186,13 +136,18 @@ struct InstancePlan {
   return result;
 }
 
-[[nodiscard]] ScenarioResult runNonsplitScenario(const ScenarioSpec& spec,
-                                                 ExperimentEngine& engine) {
-  const std::vector<std::string> specTexts = resolvedSpecs(spec);
-  std::vector<AdversarySpec> parsed;
-  parsed.reserve(specTexts.size());
-  for (const std::string& text : specTexts) {
-    parsed.push_back(AdversarySpec::parse(text));
+/// The graph-model path: one row per (instance, model). `modelTexts` is
+/// usually the single dynamics spec itself; under the legacy "nonsplit"
+/// alias it is the (deprecated) generator list from the adversaries
+/// field — seed derivation is identical either way, so a single-model
+/// run reproduces member 0 of the alias run bit for bit.
+[[nodiscard]] ScenarioResult runModelScenario(
+    const ScenarioSpec& spec, ExperimentEngine& engine,
+    const std::vector<std::string>& modelTexts) {
+  std::vector<DynamicsSpec> parsed;
+  parsed.reserve(modelTexts.size());
+  for (const std::string& text : modelTexts) {
+    parsed.push_back(DynamicsSpec::parse(text));
   }
   std::size_t totalRows = 0;
   const std::vector<InstancePlan> plan =
@@ -204,40 +159,47 @@ struct InstancePlan {
     for (std::size_t m = 0; m < parsed.size(); ++m) taskOf.emplace_back(p, m);
   }
 
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
   ScenarioResult result;
   result.rows = engine.map<SweepRow>(
       totalRows, spec.masterSeed,
       [&](std::size_t t, std::uint64_t) {
         const auto [p, m] = taskOf[t];
         const InstancePlan& instance = plan[p];
-        const AdversarySpec& gen = parsed[m];
-        const std::size_t cap =
-            spec.roundCap != 0
-                ? spec.roundCap
-                : static_cast<std::size_t>(
-                      bounds::nonsplitLogUpper(instance.n)) +
-                      8;
-        // Generator draws are decorrelated per member via a fixed odd
-        // multiplier on the member index (seeds stay position-derived).
-        Rng rng(instance.instanceSeed ^
-                (0x9e3779b97f4a7c15ull * (m + 1)));
-        const NonsplitRun run = runNonsplitBroadcast(
-            instance.n,
-            [&gen, &instance](Rng& r) {
-              return makeNonsplitGraph(gen, instance.n, r);
-            },
-            cap, rng);
+        const std::unique_ptr<DynamicsModel> model = registry.make(
+            parsed[m], instance.n, memberSeed(instance.instanceSeed, m));
+        const std::size_t cap = spec.roundCap != 0 ? spec.roundCap
+                                                   : model->defaultRoundCap();
+        BroadcastRun run = runDynamicsBroadcast(instance.n, *model, cap,
+                                                spec.recordHistory);
         SweepRow row;
         row.n = instance.n;
         row.seedIndex = instance.seedIndex;
         row.instanceSeed = instance.instanceSeed;
-        row.member = gen.toString();
+        row.member = parsed[m].toString();
         row.rounds = run.rounds;
         row.completed = run.completed;
+        row.history = std::move(run.history);
         return row;
       });
   result.instances = aggregateInstances(result.rows, plan, parsed.size());
   return result;
+}
+
+/// Validates one entry of the legacy nonsplit generator list: it must be
+/// a registered graph model of the nonsplit class.
+void validateGeneratorEntry(const std::string& text) {
+  const DynamicsSpec parsed = DynamicsSpec::parse(text);
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  registry.validate(parsed);  // unknown name/key suggestions live here
+  const DynamicsInfo& entry = registry.info(parsed.name);
+  if (entry.mode != DynamicsMode::kGraphModel ||
+      entry.graphClass != DynamicsClass::kNonsplit) {
+    throw std::invalid_argument(
+        "dynamics 'nonsplit': '" + parsed.name +
+        "' is not a nonsplit graph generator (known: nonsplit-random, "
+        "nonsplit-skewed)");
+  }
 }
 
 }  // namespace
@@ -257,67 +219,70 @@ std::string objectiveName(Objective objective) {
   return objective == Objective::kBroadcast ? "broadcast" : "gossip";
 }
 
-Dynamics parseDynamics(const std::string& text) {
-  if (text == "rooted-tree") return Dynamics::kRootedTree;
-  if (text == "restricted") return Dynamics::kRestricted;
-  if (text == "nonsplit") return Dynamics::kNonsplit;
-  std::string message = "unknown dynamics '" + text + "'";
-  const std::string suggestion =
-      closestMatch(text, {"rooted-tree", "restricted", "nonsplit"});
-  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
-  message += " (known: rooted-tree, restricted, nonsplit)";
-  throw std::invalid_argument(message);
-}
-
-std::string dynamicsName(Dynamics dynamics) {
-  switch (dynamics) {
-    case Dynamics::kRootedTree:
-      return "rooted-tree";
-    case Dynamics::kRestricted:
-      return "restricted";
-    case Dynamics::kNonsplit:
-      return "nonsplit";
+std::vector<std::string> defaultAdversarySpecs(const std::string& dynamics) {
+  const DynamicsSpec parsed = DynamicsSpec::parse(dynamics);
+  const DynamicsInfo& entry = DynamicsRegistry::instance().info(parsed.name);
+  if (entry.defaultAdversaries) {
+    return entry.defaultAdversaries(parsed.params);
   }
-  return "rooted-tree";
-}
-
-std::vector<std::string> defaultAdversarySpecs(Dynamics dynamics) {
-  switch (dynamics) {
-    case Dynamics::kRootedTree:
-      return standardPortfolioSpecs();
-    case Dynamics::kRestricted:
-      return {"k-leaf:k=2", "k-inner:k=2", "freeze-broom:handle=2"};
-    case Dynamics::kNonsplit:
-      return {"nonsplit-random", "nonsplit-skewed"};
-  }
-  return standardPortfolioSpecs();
+  // Graph models are their own (only) member.
+  return {parsed.toString()};
 }
 
 void validateScenario(const ScenarioSpec& spec) {
   if (spec.seedsPerSize == 0) {
     throw std::invalid_argument("scenario: seedsPerSize must be >= 1");
   }
-  if (spec.dynamics == Dynamics::kNonsplit &&
+  const DynamicsSpec dynamics = DynamicsSpec::parse(spec.dynamics);
+  const DynamicsRegistry& dynRegistry = DynamicsRegistry::instance();
+  dynRegistry.validate(dynamics);
+  const DynamicsInfo& entry = dynRegistry.info(dynamics.name);
+
+  if (entry.mode != DynamicsMode::kAdversaryTrees &&
       spec.objective == Objective::kGossip) {
     throw std::invalid_argument(
         "scenario: gossip is only defined over tree dynamics here "
-        "(nonsplit graphs support objective=broadcast)");
+        "(dynamics '" + dynamics.name +
+        "' supports objective=broadcast)");
   }
+
+  if (entry.mode == DynamicsMode::kGraphModel) {
+    // The model emits every round's graph itself; an adversary has no
+    // move to make, so listing one is a spec error, not a no-op.
+    if (!spec.adversaries.empty()) {
+      throw std::invalid_argument(
+          "dynamics '" + dynamics.toString() +
+          "' is a graph model: it emits the per-round graphs itself, so "
+          "the adversary list must be empty (got '" + spec.adversaries[0] +
+          "')");
+    }
+    return;
+  }
+
+  if (entry.mode == DynamicsMode::kGeneratorList) {
+    for (const std::string& text : resolvedSpecs(spec)) {
+      validateGeneratorEntry(text);
+    }
+    return;
+  }
+
   const AdversaryRegistry& registry = AdversaryRegistry::instance();
   for (const std::string& text : resolvedSpecs(spec)) {
     const AdversarySpec parsed = AdversarySpec::parse(text);
-    if (spec.dynamics == Dynamics::kNonsplit) {
-      validateNonsplitSpec(parsed);
-      continue;
-    }
     registry.validate(parsed);
-    if (spec.dynamics == Dynamics::kRestricted &&
-        parsed.name != "k-leaf" && parsed.name != "k-inner" &&
-        parsed.name != "freeze-broom") {
+    if (!entry.admissibleAdversaries.empty() &&
+        std::find(entry.admissibleAdversaries.begin(),
+                  entry.admissibleAdversaries.end(),
+                  parsed.name) == entry.admissibleAdversaries.end()) {
+      std::string admitted;
+      for (const std::string& name : entry.admissibleAdversaries) {
+        if (!admitted.empty()) admitted += ", ";
+        admitted += name;
+      }
       throw std::invalid_argument(
-          "dynamics 'restricted' only admits adversaries from the "
-          "restricted tree classes of [14] (k-leaf, k-inner, "
-          "freeze-broom); got '" + parsed.name + "'");
+          "dynamics '" + dynamics.name + "' only admits adversaries " +
+          "from its restricted classes (" + admitted + "); got '" +
+          parsed.name + "'");
     }
   }
 }
@@ -325,8 +290,14 @@ void validateScenario(const ScenarioSpec& spec) {
 ScenarioResult runScenario(const ScenarioSpec& spec,
                            ExperimentEngine& engine) {
   validateScenario(spec);
-  if (spec.dynamics == Dynamics::kNonsplit) {
-    return runNonsplitScenario(spec, engine);
+  const DynamicsSpec dynamics = DynamicsSpec::parse(spec.dynamics);
+  const DynamicsInfo& entry =
+      DynamicsRegistry::instance().info(dynamics.name);
+  if (entry.mode == DynamicsMode::kGraphModel) {
+    return runModelScenario(spec, engine, {dynamics.toString()});
+  }
+  if (entry.mode == DynamicsMode::kGeneratorList) {
+    return runModelScenario(spec, engine, resolvedSpecs(spec));
   }
   if (spec.objective == Objective::kGossip) {
     return runGossipScenario(spec, engine);

@@ -1,15 +1,23 @@
 // ScenarioSpec: the declarative description of one experiment campaign.
 //
 // A scenario names WHAT to measure (objective: broadcast or gossip),
-// UNDER WHICH dynamics class (unrestricted rooted trees, the restricted
-// k-leaf/k-inner classes of [14], or nonsplit graphs), OVER which sizes ×
-// seed replicates, and AGAINST which adversaries — the latter as registry
-// spec strings ("freeze-path:depth=3", "beam:width=64"), so composing a
-// new experiment never means writing a new main(). runScenario() executes
-// the spec on an ExperimentEngine (runSweep for the broadcast/rooted-tree
-// workload, map() for gossip and nonsplit), and every path returns the
-// same unified SweepRow rows in the same deterministic
-// (size, replicate, adversary) order — byte-identical at any job count.
+// UNDER WHICH dynamics — a DynamicsRegistry spec string ("rooted-tree",
+// "restricted:class=k-leaf,k=3", "edge-markovian:p=0.2,q=0.1") — OVER
+// which sizes × seed replicates, and AGAINST which adversaries, the
+// latter as AdversaryRegistry spec strings ("freeze-path:depth=3",
+// "beam:width=64"). Both axes are data, so composing a new experiment
+// never means writing a new main(). runScenario() executes the spec on an
+// ExperimentEngine:
+//
+//   * adversary-driven dynamics (rooted-tree, restricted) route broadcast
+//     through ExperimentEngine::runSweep and gossip through map();
+//   * graph-model dynamics (nonsplit-random, edge-markovian, t-interval,
+//     …) construct the model per (n, seed) with position-derived seeds
+//     and drive runDynamicsBroadcast through map().
+//
+// Every path returns the same unified SweepRow rows in the same
+// deterministic (size, replicate, member) order — byte-identical at any
+// job count.
 #pragma once
 
 #include <cstdint>
@@ -24,61 +32,60 @@ namespace dynbcast {
 /// all of them (gossip).
 enum class Objective { kBroadcast, kGossip };
 
-/// The adversary's move universe.
-enum class Dynamics {
-  kRootedTree,  ///< any rooted tree on [n] (the paper's model)
-  kRestricted,  ///< restricted tree classes of [14]: k-leaf / k-inner
-  kNonsplit     ///< nonsplit graphs (related work [2]/[9])
-};
-
 [[nodiscard]] Objective parseObjective(const std::string& text);
 [[nodiscard]] std::string objectiveName(Objective objective);
-[[nodiscard]] Dynamics parseDynamics(const std::string& text);
-[[nodiscard]] std::string dynamicsName(Dynamics dynamics);
 
 struct ScenarioSpec {
   Objective objective = Objective::kBroadcast;
-  Dynamics dynamics = Dynamics::kRootedTree;
+  /// DynamicsRegistry spec string naming the dynamic-graph model (the
+  /// adversary's move universe, or a stochastic graph process).
+  std::string dynamics = "rooted-tree";
   std::vector<std::size_t> sizes;
   std::uint64_t masterSeed = 1;
   /// Independent seed replicates per size (position-derived seeds).
   std::size_t seedsPerSize = 1;
-  /// Round cap per run; 0 = the objective's default
-  /// (defaultRoundCap(n) for broadcast, defaultGossipRoundCap(n) for
-  /// gossip, ⌈log₂ n⌉ + slack for nonsplit).
+  /// Round cap per run; 0 = the dynamics/objective default
+  /// (defaultRoundCap(n) for broadcast trees, defaultGossipRoundCap(n)
+  /// for gossip, the model's own defaultRoundCap for graph models).
   std::size_t roundCap = 0;
-  /// Adversary spec strings; empty = defaultAdversarySpecs(dynamics).
-  /// For kNonsplit these name graph generators ("nonsplit-random",
-  /// "nonsplit-skewed") instead of registry adversaries.
+  /// Adversary spec strings; empty = the dynamics' declared default list
+  /// (the standard portfolio for rooted trees). Graph-model dynamics
+  /// take no adversaries — the model emits the graphs itself.
+  /// DEPRECATED: under the legacy dynamics="nonsplit" alias these name
+  /// graph generators ("nonsplit-random", "nonsplit-skewed"); spell the
+  /// generator as the dynamics spec instead.
   std::vector<std::string> adversaries;
   /// Capture per-round metrics in every row (costly at large n).
   bool recordHistory = false;
 };
 
-/// The default adversary list for a dynamics class: the standard
-/// portfolio for rooted trees, small-k class members for restricted,
-/// both graph generators for nonsplit.
+/// The default member list for a dynamics spec: the standard portfolio
+/// for rooted trees, small-k class members for restricted, both
+/// generators for the legacy nonsplit alias, the model itself for graph
+/// models. Throws std::invalid_argument on unknown dynamics.
 [[nodiscard]] std::vector<std::string> defaultAdversarySpecs(
-    Dynamics dynamics);
+    const std::string& dynamics);
 
-/// Checks the spec is runnable: known adversary names/keys (with
-/// suggestions), adversaries compatible with the dynamics class, and a
-/// supported objective/dynamics combination. Throws
+/// Checks the spec is runnable: known dynamics/adversary names and keys
+/// (with suggestions), adversaries compatible with the dynamics (class
+/// restrictions for restricted trees; none allowed on graph models), and
+/// a supported objective/dynamics combination. Throws
 /// std::invalid_argument; runScenario() calls this first.
 void validateScenario(const ScenarioSpec& spec);
 
 /// Scenario results reuse the engine's unified row/instance types: rows
-/// ordered by (size position, replicate, adversary), plus per-(n, seed)
+/// ordered by (size position, replicate, member), plus per-(n, seed)
 /// aggregates whose bestRounds is Definition 2.3's max over the listed
-/// adversaries.
+/// members.
 using ScenarioRow = SweepRow;
 using ScenarioResult = SweepResult;
 
 /// Executes the scenario on the engine. Broadcast over (un)restricted
 /// trees delegates to ExperimentEngine::runSweep — a default rooted-tree
 /// broadcast scenario reproduces runSweep(standardPortfolio) rows
-/// bit-for-bit. Gossip and nonsplit fan out through ExperimentEngine::map
-/// with the same instance planning, so determinism guarantees carry over.
+/// bit-for-bit. Gossip and graph-model dynamics fan out through
+/// ExperimentEngine::map with the same instance planning, so determinism
+/// guarantees carry over.
 [[nodiscard]] ScenarioResult runScenario(const ScenarioSpec& spec,
                                          ExperimentEngine& engine);
 

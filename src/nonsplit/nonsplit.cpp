@@ -5,14 +5,11 @@
 
 namespace dynbcast {
 
-BitMatrix randomNonsplitGraph(std::size_t n, std::size_t extraEdges,
-                              Rng& rng) {
-  DYNBCAST_ASSERT(n > 0);
-  BitMatrix g = BitMatrix::identity(n);
-  for (std::size_t e = 0; e < extraEdges; ++e) {
-    g.set(rng.uniform(n), rng.uniform(n));
-  }
-  // Repair pass: give every common-in-neighbor-less pair one.
+namespace {
+
+/// Repair pass shared by the random generators: give every
+/// common-in-neighbor-less pair a random one.
+void repairNonsplit(BitMatrix& g, std::size_t n, Rng& rng) {
   const BitMatrix t0 = g.transposed();
   std::vector<DynBitset> inSets;
   inSets.reserve(n);
@@ -28,6 +25,32 @@ BitMatrix randomNonsplitGraph(std::size_t n, std::size_t extraEdges,
       }
     }
   }
+}
+
+}  // namespace
+
+BitMatrix randomNonsplitGraph(std::size_t n, std::size_t extraEdges,
+                              Rng& rng) {
+  DYNBCAST_ASSERT(n > 0);
+  BitMatrix g = BitMatrix::identity(n);
+  for (std::size_t e = 0; e < extraEdges; ++e) {
+    g.set(rng.uniform(n), rng.uniform(n));
+  }
+  repairNonsplit(g, n, rng);
+  DYNBCAST_ASSERT(isNonsplit(g));
+  return g;
+}
+
+BitMatrix bernoulliNonsplitGraph(std::size_t n, double p, Rng& rng) {
+  DYNBCAST_ASSERT(n > 0);
+  DYNBCAST_ASSERT_MSG(p >= 0.0 && p <= 1.0, "p must be a probability");
+  BitMatrix g = BitMatrix::identity(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      if (x != y && rng.chance(p)) g.set(x, y);
+    }
+  }
+  repairNonsplit(g, n, rng);
   DYNBCAST_ASSERT(isNonsplit(g));
   return g;
 }

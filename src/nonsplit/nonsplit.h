@@ -34,6 +34,14 @@ namespace dynbcast {
 /// information flow bottlenecked through few nodes.
 [[nodiscard]] BitMatrix skewedNonsplitGraph(std::size_t n, Rng& rng);
 
+/// Density-parameterized variant of randomNonsplitGraph: every ordered
+/// pair (x, y), x ≠ y, gets an edge independently with probability p
+/// (plus all self-loops) before the same nonsplit repair pass. p = 0 is
+/// the sparsest legal regime (repair edges only); p = 1 is the complete
+/// graph. Requires 0 ≤ p ≤ 1.
+[[nodiscard]] BitMatrix bernoulliNonsplitGraph(std::size_t n, double p,
+                                               Rng& rng);
+
 /// Runs broadcast where every round's graph is produced by `makeGraph`
 /// (must be reflexive; nonsplitness is asserted). Returns rounds until
 /// some node is heard by everyone, or maxRounds when incomplete.

@@ -1,0 +1,97 @@
+// The shared `name:key=value,...` spec grammar.
+//
+// Two registries speak this language — AdversaryRegistry (who plays the
+// game) and DynamicsRegistry (which graphs the game is played on) — and
+// both need the same guarantees: parse/print round-trip with a sorted-key
+// canonical form, typed parameter access with friendly conversion errors,
+// and edit-distance "did you mean" suggestions for typos. This header is
+// the single implementation both build on.
+//
+// Grammar (canonical form printed by formatSpec):
+//
+//   spec   := name [":" param ("," param)*]
+//   param  := key "=" value
+//   name   := [A-Za-z0-9._-]+          e.g. "edge-markovian"
+//
+// parseSpec takes a `kind` label ("adversary", "dynamics") that prefixes
+// every error message, so a typo in an experiment script names the axis
+// it broke.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dynbcast {
+
+/// Typed view of one spec's key=value bag. Values are stored as strings
+/// and converted on access; conversion failures throw
+/// std::invalid_argument naming the offending key and value — prefixed
+/// with the axis `kind` ("adversary", "dynamics") when the bag came out
+/// of parseSpec, so a bad value says which spec axis it broke.
+class SpecParams {
+ public:
+  SpecParams() = default;
+  explicit SpecParams(std::map<std::string, std::string> values,
+                      std::string kind = "")
+      : values_(std::move(values)), kind_(std::move(kind)) {}
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] std::uint64_t getUInt(const std::string& key,
+                                      std::uint64_t fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      const std::string& fallback) const;
+
+  /// Sorted key → value map (std::map keeps printing canonical).
+  [[nodiscard]] const std::map<std::string, std::string>& values()
+      const noexcept {
+    return values_;
+  }
+
+ private:
+  /// "<kind> parameter 'key' expects ..." error prefix; "parameter" when
+  /// no kind was attached.
+  [[nodiscard]] std::string errorLabel() const;
+
+  std::map<std::string, std::string> values_;
+  std::string kind_;
+};
+
+/// A parsed spec string: base name + parameter bag. AdversarySpec and
+/// DynamicsSpec are thin wrappers that pin the error-message kind.
+struct ParsedSpec {
+  std::string name;
+  SpecParams params;
+};
+
+/// Parses "name:key=value,key=value". Throws std::invalid_argument on
+/// malformed input (empty name, missing '=', duplicate key, bad
+/// characters); messages read "<kind> spec '<text>': ...". Surrounding
+/// whitespace of tokens is ignored.
+[[nodiscard]] ParsedSpec parseSpec(const std::string& text,
+                                   const std::string& kind);
+
+/// Canonical printing: name, then ":" and the parameters sorted by key.
+/// parseSpec(formatSpec(s)) reproduces s — printing is a fixed point.
+[[nodiscard]] std::string formatSpec(const std::string& name,
+                                     const SpecParams& params);
+
+/// True when `token` is a non-empty string over the grammar's name/key
+/// charset [A-Za-z0-9._-].
+[[nodiscard]] bool isValidSpecToken(const std::string& token);
+
+/// "did you mean" helper shared by the registries and the scenario layer:
+/// the candidate closest to `word` in edit distance, or empty when
+/// nothing is within distance 3.
+[[nodiscard]] std::string closestMatch(const std::string& word,
+                                       const std::vector<std::string>& pool);
+
+}  // namespace dynbcast

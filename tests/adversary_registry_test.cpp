@@ -122,8 +122,15 @@ TEST(AdversaryRegistryTest, UnknownKeySuggestsNearest) {
 
 TEST(AdversaryRegistryTest, BadParameterValuesThrow) {
   const AdversaryRegistry& registry = AdversaryRegistry::instance();
-  EXPECT_THROW((void)registry.make("freeze-path:depth=abc", 8, 1),
-               std::invalid_argument);
+  try {
+    (void)registry.make("freeze-path:depth=abc", 8, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // Conversion errors name the spec axis they came from.
+    EXPECT_NE(std::string(e.what()).find("adversary parameter"),
+              std::string::npos)
+        << e.what();
+  }
   EXPECT_THROW((void)registry.make("freeze-path:depth=0", 8, 1),
                std::invalid_argument);
   EXPECT_THROW((void)registry.make("k-leaf:k=9", 8, 1),

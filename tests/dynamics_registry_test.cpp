@@ -1,0 +1,282 @@
+#include "src/dynamics/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/graph/properties.h"
+#include "src/sim/broadcast_sim.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(DynamicsSpecTest, ParseAndPrintRoundTrip) {
+  const DynamicsSpec spec = DynamicsSpec::parse("edge-markovian:q=0.3,p=0.5");
+  EXPECT_EQ(spec.name, "edge-markovian");
+  EXPECT_DOUBLE_EQ(spec.params.getDouble("p", 0), 0.5);
+  EXPECT_DOUBLE_EQ(spec.params.getDouble("q", 0), 0.3);
+  // Canonical printing sorts keys; parsing the canonical form is a
+  // fixed point.
+  EXPECT_EQ(spec.toString(), "edge-markovian:p=0.5,q=0.3");
+  EXPECT_EQ(DynamicsSpec::parse(spec.toString()).toString(),
+            spec.toString());
+  EXPECT_EQ(DynamicsSpec::parse(" t-interval : T = 8 ").toString(),
+            "t-interval:T=8");
+}
+
+TEST(DynamicsSpecTest, ConversionErrorsNameTheAxis) {
+  // Parsed params carry their axis, so a bad value in a scenario mixing
+  // --dynamics and --adversaries says which spec broke.
+  const DynamicsSpec spec = DynamicsSpec::parse("t-interval:T=abc");
+  try {
+    (void)spec.params.getUInt("T", 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("dynamics parameter"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DynamicsSpecTest, MalformedSpecsThrow) {
+  EXPECT_THROW((void)DynamicsSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW((void)DynamicsSpec::parse(":p=1"), std::invalid_argument);
+  EXPECT_THROW((void)DynamicsSpec::parse("t-interval:"),
+               std::invalid_argument);
+  EXPECT_THROW((void)DynamicsSpec::parse("t-interval:T"),
+               std::invalid_argument);
+  EXPECT_THROW((void)DynamicsSpec::parse("t-interval:T=4,T=8"),
+               std::invalid_argument);
+  EXPECT_THROW((void)DynamicsSpec::parse("t interval:T=4"),
+               std::invalid_argument);
+}
+
+TEST(DynamicsRegistryTest, TheModelZooIsRegistered) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  for (const char* name :
+       {"rooted-tree", "restricted", "nonsplit", "nonsplit-random",
+        "nonsplit-skewed", "edge-markovian", "t-interval"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_GE(registry.names().size(), 7u);
+}
+
+TEST(DynamicsRegistryTest, EveryGraphModelEmitsItsDeclaredClass) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  const std::size_t n = 12;
+  const BroadcastSim state(n);
+  for (const std::string& name : registry.names()) {
+    const DynamicsInfo& info = registry.info(name);
+    if (info.mode != DynamicsMode::kGraphModel) continue;
+    const auto model = registry.make(name, n, 5);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->graphClass(), info.graphClass) << name;
+    EXPECT_GE(model->defaultRoundCap(), 4u) << name;
+    for (std::size_t round = 0; round < 3; ++round) {
+      const BitMatrix g = model->nextGraph(state);
+      ASSERT_EQ(g.dim(), n) << name;
+      EXPECT_TRUE(g.isReflexive()) << name;
+      if (info.graphClass == DynamicsClass::kNonsplit) {
+        EXPECT_TRUE(isNonsplit(g)) << name;
+      }
+    }
+  }
+}
+
+TEST(DynamicsRegistryTest, ModelsReplayDeterministicallyAcrossReset) {
+  // The replay contract: same (n, seed) → same graph sequence, and
+  // reset() rewinds to the constructed seed. This is what makes
+  // position-seeded stochastic sweeps bit-identical at any job count.
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  // n = 24 keeps nonsplit-skewed's dispatcher span (n/8) above 1 — at
+  // tiny n its graph is seed-independent by construction.
+  const std::size_t n = 24;
+  const BroadcastSim state(n);
+  for (const std::string& spec :
+       {std::string("nonsplit-random"), std::string("nonsplit-skewed"),
+        std::string("edge-markovian:p=0.3,q=0.2"),
+        std::string("t-interval:T=2")}) {
+    const auto a = registry.make(spec, n, 42);
+    const auto b = registry.make(spec, n, 42);
+    std::vector<BitMatrix> firstRun;
+    for (std::size_t round = 0; round < 5; ++round) {
+      const BitMatrix ga = a->nextGraph(state);
+      const BitMatrix gb = b->nextGraph(state);
+      EXPECT_EQ(ga, gb) << spec << " round " << round;
+      firstRun.push_back(ga);
+    }
+    a->reset();
+    for (std::size_t round = 0; round < 5; ++round) {
+      EXPECT_EQ(a->nextGraph(state), firstRun[round])
+          << spec << " replay round " << round;
+    }
+    // A different seed must give a different sequence (all four models
+    // are stochastic).
+    const auto c = registry.make(spec, n, 43);
+    bool anyDifferent = false;
+    for (std::size_t round = 0; round < 5; ++round) {
+      if (!(c->nextGraph(state) == firstRun[round])) anyDifferent = true;
+    }
+    EXPECT_TRUE(anyDifferent) << spec;
+  }
+}
+
+TEST(DynamicsRegistryTest, ModelNamesAreCanonicalSpecs) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  const auto plain = registry.make("edge-markovian", 8, 1);
+  EXPECT_EQ(plain->name(), "edge-markovian");
+  const auto parameterized =
+      registry.make("edge-markovian:q=0.4,p=0.6", 8, 1);
+  EXPECT_EQ(parameterized->name(), "edge-markovian:p=0.6,q=0.4");
+  EXPECT_EQ(DynamicsSpec::parse(parameterized->name()).toString(),
+            parameterized->name());
+}
+
+TEST(DynamicsRegistryTest, UnknownNameSuggestsNearest) {
+  try {
+    (void)DynamicsRegistry::instance().make("edge-markovan", 8, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("edge-markovian"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DynamicsRegistryTest, UnknownKeySuggestsNearest) {
+  try {
+    (void)DynamicsRegistry::instance().make("t-interval:t=4", 8, 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("T"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DynamicsRegistryTest, ParameterRangesAreValidatedEagerly) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  // validate() fires without constructing, so a bad sweep spec fails at
+  // composition time, not inside a worker thread.
+  EXPECT_THROW(
+      registry.validate(DynamicsSpec::parse("edge-markovian:p=0")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      registry.validate(DynamicsSpec::parse("edge-markovian:p=1.5")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      registry.validate(DynamicsSpec::parse("edge-markovian:q=-0.1")),
+      std::invalid_argument);
+  EXPECT_THROW(registry.validate(DynamicsSpec::parse("t-interval:T=0")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      registry.validate(DynamicsSpec::parse("nonsplit-random:p=2")),
+      std::invalid_argument);
+  // edges= (a count) and p= (a density) are alternative ways to set the
+  // same knob: both at once is ambiguous and must be rejected, not
+  // silently resolved in favor of one.
+  EXPECT_THROW(registry.validate(
+                   DynamicsSpec::parse("nonsplit-random:edges=4,p=0.5")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      registry.validate(DynamicsSpec::parse("restricted:class=brooom")),
+      std::invalid_argument);
+  // In-range values pass.
+  registry.validate(DynamicsSpec::parse("edge-markovian:p=0.2,q=0.1"));
+  registry.validate(DynamicsSpec::parse("t-interval:T=1"));
+  registry.validate(DynamicsSpec::parse("restricted:class=broom,k=3"));
+}
+
+TEST(DynamicsRegistryTest, AdversaryDrivenEntriesHaveNoStandaloneModel) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  EXPECT_THROW((void)registry.make("rooted-tree", 8, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.make("restricted", 8, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.make("nonsplit", 8, 1),
+               std::invalid_argument);
+}
+
+TEST(DynamicsRegistryTest, LegacyAliasIsMarkedDeprecated) {
+  const DynamicsInfo& alias = DynamicsRegistry::instance().info("nonsplit");
+  EXPECT_EQ(alias.mode, DynamicsMode::kGeneratorList);
+  EXPECT_FALSE(alias.deprecation.empty());
+}
+
+TEST(DynamicsRegistryTest, DuplicateOrInconsistentRegistrationThrows) {
+  DynamicsRegistry registry;  // local registry: no built-ins
+  DynamicsInfo info;
+  info.name = "test-model";
+  info.mode = DynamicsMode::kGraphModel;
+  info.factory = [](std::size_t n, std::uint64_t seed,
+                    const DynamicsParams&) {
+    return DynamicsRegistry::instance().make("nonsplit-skewed", n, seed);
+  };
+  registry.add(info);
+  EXPECT_TRUE(registry.contains("test-model"));
+  EXPECT_THROW(registry.add(info), std::invalid_argument);
+
+  DynamicsInfo missingFactory;
+  missingFactory.name = "no-factory";
+  missingFactory.mode = DynamicsMode::kGraphModel;
+  EXPECT_THROW(registry.add(missingFactory), std::invalid_argument);
+
+  DynamicsInfo extraFactory = info;
+  extraFactory.name = "tree-with-factory";
+  extraFactory.mode = DynamicsMode::kAdversaryTrees;
+  EXPECT_THROW(registry.add(extraFactory), std::invalid_argument);
+}
+
+TEST(DynamicsDriverTest, RunDynamicsBroadcastCompletesAndReplays) {
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  for (const std::string& spec :
+       {std::string("nonsplit-random"),
+        std::string("edge-markovian:p=0.25,q=0.1"),
+        std::string("t-interval:T=3")}) {
+    const auto model = registry.make(spec, 16, 9);
+    const BroadcastRun first =
+        runDynamicsBroadcast(16, *model, model->defaultRoundCap());
+    EXPECT_TRUE(first.completed) << spec;
+    EXPECT_GE(first.rounds, 1u) << spec;
+    // The driver resets the model, so a second run replays bit for bit.
+    const BroadcastRun again =
+        runDynamicsBroadcast(16, *model, model->defaultRoundCap());
+    EXPECT_EQ(first.rounds, again.rounds) << spec;
+    EXPECT_EQ(first.completed, again.completed) << spec;
+  }
+}
+
+TEST(DynamicsDriverTest, HistoryMatchesRoundsAndEdgesGrow) {
+  const auto model =
+      DynamicsRegistry::instance().make("edge-markovian:p=0.3,q=0.1", 12, 4);
+  const BroadcastRun run =
+      runDynamicsBroadcast(12, *model, model->defaultRoundCap(), true);
+  ASSERT_TRUE(run.completed);
+  ASSERT_EQ(run.history.size(), run.rounds);
+  for (std::size_t i = 1; i < run.history.size(); ++i) {
+    // The heard-of state is monotone: total edges never shrink.
+    EXPECT_GE(run.history[i].totalEdges, run.history[i - 1].totalEdges);
+  }
+}
+
+TEST(DynamicsDriverTest, TIntervalHoldsEachGraphForTRounds) {
+  const auto model =
+      DynamicsRegistry::instance().make("t-interval:T=3", 10, 11);
+  const BroadcastSim state(10);
+  std::vector<BitMatrix> graphs;
+  for (std::size_t i = 0; i < 9; ++i) graphs.push_back(model->nextGraph(state));
+  for (std::size_t period = 0; period < 3; ++period) {
+    EXPECT_EQ(graphs[3 * period], graphs[3 * period + 1]) << period;
+    EXPECT_EQ(graphs[3 * period], graphs[3 * period + 2]) << period;
+    // Each period's graph is a symmetric connected spanning subgraph.
+    EXPECT_TRUE(isRooted(graphs[3 * period])) << period;
+  }
+  // Rewiring happens: 3 independent random trees on 10 nodes collide
+  // with negligible probability.
+  EXPECT_FALSE(graphs[0] == graphs[3] && graphs[3] == graphs[6]);
+}
+
+}  // namespace
+}  // namespace dynbcast

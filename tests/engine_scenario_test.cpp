@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "src/adversary/adversary.h"
 #include "src/bounds/bounds.h"
@@ -11,16 +12,42 @@
 namespace dynbcast {
 namespace {
 
-TEST(ScenarioVocabularyTest, ParseAndPrintRoundTrip) {
+TEST(ScenarioVocabularyTest, ObjectiveParseAndPrintRoundTrip) {
   EXPECT_EQ(parseObjective("broadcast"), Objective::kBroadcast);
   EXPECT_EQ(parseObjective("gossip"), Objective::kGossip);
   EXPECT_EQ(objectiveName(Objective::kGossip), "gossip");
-  EXPECT_EQ(parseDynamics("rooted-tree"), Dynamics::kRootedTree);
-  EXPECT_EQ(parseDynamics("restricted"), Dynamics::kRestricted);
-  EXPECT_EQ(parseDynamics("nonsplit"), Dynamics::kNonsplit);
-  EXPECT_EQ(dynamicsName(Dynamics::kNonsplit), "nonsplit");
+  EXPECT_EQ(objectiveName(Objective::kBroadcast), "broadcast");
   EXPECT_THROW((void)parseObjective("gosip"), std::invalid_argument);
-  EXPECT_THROW((void)parseDynamics("rootedtree"), std::invalid_argument);
+}
+
+TEST(ScenarioVocabularyTest, UnknownDynamicsSuggestsNearest) {
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.sizes = {8};
+  scenario.dynamics = "rootedtree";
+  try {
+    (void)runScenario(scenario, engine);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("rooted-tree"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioVocabularyTest, DefaultAdversarySpecsFollowTheDynamics) {
+  // rooted-tree defaults to the standard portfolio; restricted narrows
+  // to its class members (parameterized by the dynamics spec); graph
+  // models are their own single member.
+  EXPECT_GE(defaultAdversarySpecs("rooted-tree").size(), 8u);
+  const auto restricted = defaultAdversarySpecs("restricted:class=k-leaf,k=3");
+  ASSERT_EQ(restricted.size(), 1u);
+  EXPECT_EQ(restricted[0], "k-leaf:k=3");
+  EXPECT_EQ(defaultAdversarySpecs("restricted").size(), 3u);
+  const auto model = defaultAdversarySpecs("edge-markovian:p=0.5");
+  ASSERT_EQ(model.size(), 1u);
+  EXPECT_EQ(model[0], "edge-markovian:p=0.5");
+  EXPECT_THROW((void)defaultAdversarySpecs("no-such-dynamics"),
+               std::invalid_argument);
 }
 
 TEST(ScenarioTest, DefaultBroadcastScenarioMatchesRunSweepBitForBit) {
@@ -111,7 +138,7 @@ TEST(ScenarioTest, GossipDominatesBroadcastMemberwise) {
 TEST(ScenarioTest, RestrictedDynamicsValidatesTheClass) {
   ExperimentEngine engine;
   ScenarioSpec scenario;
-  scenario.dynamics = Dynamics::kRestricted;
+  scenario.dynamics = "restricted";
   scenario.sizes = {12};
   scenario.adversaries = {"greedy-delay"};
   EXPECT_THROW((void)runScenario(scenario, engine), std::invalid_argument);
@@ -127,10 +154,27 @@ TEST(ScenarioTest, RestrictedDynamicsValidatesTheClass) {
   }
 }
 
-TEST(ScenarioTest, NonsplitStaysWithinTheLogBound) {
+TEST(ScenarioTest, RestrictedClassParamsNarrowTheDefaultMembers) {
   ExperimentEngine engine;
   ScenarioSpec scenario;
-  scenario.dynamics = Dynamics::kNonsplit;
+  scenario.dynamics = "restricted:class=k-leaf,k=3";
+  scenario.sizes = {12};
+  const ScenarioResult result = runScenario(scenario, engine);
+  ASSERT_EQ(result.rows.size(), 1u);
+  EXPECT_EQ(result.rows[0].member, "k-leaf:k=3");
+  EXPECT_TRUE(result.rows[0].completed);
+
+  scenario.dynamics = "restricted:class=no-such-class";
+  EXPECT_THROW((void)runScenario(scenario, engine), std::invalid_argument);
+}
+
+TEST(ScenarioTest, LegacyNonsplitAliasStaysWithinTheLogBound) {
+  // The deprecated dynamics="nonsplit" form: generator names ride in the
+  // adversaries field (default = both generators). Kept working so old
+  // invocations and scripts survive the model-zoo migration.
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = "nonsplit";
   scenario.sizes = {16, 32};
   scenario.seedsPerSize = 2;
   const ScenarioResult result = runScenario(scenario, engine);
@@ -142,19 +186,70 @@ TEST(ScenarioTest, NonsplitStaysWithinTheLogBound) {
   }
 }
 
-TEST(ScenarioTest, NonsplitGossipIsRejected) {
+TEST(ScenarioTest, SingleModelRunsReproduceTheLegacyAliasBitForBit) {
+  // Migration guarantee: naming a generator as the dynamics spec yields
+  // exactly the rows the old alias produced for that member — same
+  // member-index seed derivation, same caps, same graphs.
   ExperimentEngine engine;
-  ScenarioSpec scenario;
-  scenario.objective = Objective::kGossip;
-  scenario.dynamics = Dynamics::kNonsplit;
-  scenario.sizes = {8};
-  EXPECT_THROW((void)runScenario(scenario, engine), std::invalid_argument);
+  ScenarioSpec alias;
+  alias.dynamics = "nonsplit";
+  alias.sizes = {16, 24};
+  alias.seedsPerSize = 2;
+  alias.masterSeed = 7;
+  alias.adversaries = {"nonsplit-random", "nonsplit-skewed"};
+  const ScenarioResult old = runScenario(alias, engine);
+
+  ScenarioSpec direct = alias;
+  direct.dynamics = "nonsplit-random";
+  direct.adversaries = {};
+  const ScenarioResult fresh = runScenario(direct, engine);
+
+  ASSERT_EQ(old.rows.size(), 2 * fresh.rows.size());
+  for (std::size_t i = 0; i < fresh.rows.size(); ++i) {
+    EXPECT_EQ(fresh.rows[i], old.rows[2 * i]) << "instance " << i;
+  }
+}
+
+TEST(ScenarioTest, GraphModelDynamicsRejectAdversaries) {
+  // A graph model emits every round's graph itself; an adversary has no
+  // move to make, so listing one (e.g. "exact") must fail loudly.
+  ExperimentEngine engine;
+  for (const std::string& dynamics :
+       {std::string("edge-markovian:p=0.2,q=0.1"),
+        std::string("t-interval:T=4"), std::string("nonsplit-random")}) {
+    ScenarioSpec scenario;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {8};
+    scenario.adversaries = {"exact"};
+    try {
+      (void)runScenario(scenario, engine);
+      FAIL() << "expected std::invalid_argument for " << dynamics;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("exact"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(ScenarioTest, GossipIsRejectedOnGraphModelDynamics) {
+  ExperimentEngine engine;
+  for (const std::string& dynamics :
+       {std::string("nonsplit"), std::string("nonsplit-skewed"),
+        std::string("edge-markovian")}) {
+    ScenarioSpec scenario;
+    scenario.objective = Objective::kGossip;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {8};
+    EXPECT_THROW((void)runScenario(scenario, engine),
+                 std::invalid_argument)
+        << dynamics;
+  }
 }
 
 TEST(ScenarioTest, UnknownNonsplitGeneratorSuggests) {
   ExperimentEngine engine;
   ScenarioSpec scenario;
-  scenario.dynamics = Dynamics::kNonsplit;
+  scenario.dynamics = "nonsplit";
   scenario.sizes = {8};
   scenario.adversaries = {"nonsplit-rando"};
   try {
@@ -167,18 +262,42 @@ TEST(ScenarioTest, UnknownNonsplitGeneratorSuggests) {
   }
 }
 
+TEST(ScenarioTest, StochasticModelsCompleteWithinTheirCaps) {
+  // Both KLO-style models must actually finish broadcast well before
+  // their stall-detector caps at these parameters.
+  ExperimentEngine engine;
+  for (const std::string& dynamics :
+       {std::string("edge-markovian:p=0.2,q=0.1"),
+        std::string("t-interval:T=4")}) {
+    ScenarioSpec scenario;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {16, 32};
+    scenario.seedsPerSize = 2;
+    const ScenarioResult result = runScenario(scenario, engine);
+    ASSERT_EQ(result.rows.size(), 4u) << dynamics;
+    for (const ScenarioRow& row : result.rows) {
+      EXPECT_TRUE(row.completed) << dynamics << " n=" << row.n;
+      EXPECT_GE(row.rounds, 1u);
+      EXPECT_LT(row.rounds, 10 * row.n + 50) << dynamics;
+    }
+  }
+}
+
 TEST(ScenarioTest, RowsAreBitIdenticalAcrossJobCounts) {
   // The determinism guarantee extends beyond the broadcast sweep: the
-  // gossip and nonsplit paths also derive every seed from the task's
-  // position, so any --jobs value produces the same rows.
-  for (const Dynamics dynamics :
-       {Dynamics::kRootedTree, Dynamics::kNonsplit}) {
+  // gossip and graph-model paths also derive every seed from the task's
+  // position, so any --jobs value produces the same rows — including
+  // for the stochastic model-zoo dynamics.
+  for (const std::string& dynamics :
+       {std::string("rooted-tree"), std::string("nonsplit"),
+        std::string("edge-markovian:p=0.2,q=0.1"),
+        std::string("t-interval:T=3")}) {
     ScenarioSpec scenario;
     scenario.dynamics = dynamics;
     scenario.sizes = {8, 12};
     scenario.seedsPerSize = 2;
     scenario.masterSeed = 99;
-    if (dynamics == Dynamics::kRootedTree) {
+    if (dynamics == "rooted-tree") {
       scenario.objective = Objective::kGossip;
       scenario.adversaries = {"alternating-path", "random-tree",
                               "random-path"};
@@ -189,8 +308,7 @@ TEST(ScenarioTest, RowsAreBitIdenticalAcrossJobCounts) {
     const ScenarioResult b = runScenario(scenario, parallel);
     ASSERT_EQ(a.rows.size(), b.rows.size());
     for (std::size_t i = 0; i < a.rows.size(); ++i) {
-      EXPECT_EQ(a.rows[i], b.rows[i])
-          << dynamicsName(dynamics) << " row " << i;
+      EXPECT_EQ(a.rows[i], b.rows[i]) << dynamics << " row " << i;
     }
   }
 }
@@ -208,6 +326,20 @@ TEST(ScenarioTest, HistoryIsRecordedOnDemand) {
   ASSERT_EQ(traced.rows.size(), 1u);
   EXPECT_EQ(traced.rows[0].history.size(), traced.rows[0].rounds);
   EXPECT_EQ(traced.rows[0].rounds, plain.rows[0].rounds);
+}
+
+TEST(ScenarioTest, GraphModelHistoryIsRecordedOnDemand) {
+  // The model path gained history support in the migration (the old
+  // nonsplit path never recorded it).
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = "t-interval:T=2";
+  scenario.sizes = {12};
+  scenario.recordHistory = true;
+  const ScenarioResult traced = runScenario(scenario, engine);
+  ASSERT_EQ(traced.rows.size(), 1u);
+  EXPECT_TRUE(traced.rows[0].completed);
+  EXPECT_EQ(traced.rows[0].history.size(), traced.rows[0].rounds);
 }
 
 TEST(GossipCapTest, GossipCapExceedsBroadcastCap) {

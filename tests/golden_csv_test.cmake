@@ -5,10 +5,20 @@
 #   -DSUBCOMMAND=<optional subcommand, e.g. sweep for the dynbcast CLI>
 #   -DJOBS=<worker count>  (1 and 8 both must reproduce the golden bytes)
 #   -DSIZES=<--sizes sweep spec, e.g. 4:128:4>
+#   -DDYNAMICS=<optional --dynamics spec, e.g. edge-markovian:p=0.2,q=0.1>
+#   -DSEEDS=<optional --seeds replicate count>
 #   -DGOLDEN=<committed CSV>
 #   -DOUT=<scratch output path>
+set(extra_args "")
+if(DYNAMICS)
+  list(APPEND extra_args "--dynamics=${DYNAMICS}")
+endif()
+if(SEEDS)
+  list(APPEND extra_args "--seeds=${SEEDS}")
+endif()
 execute_process(
-  COMMAND ${BENCH} ${SUBCOMMAND} --sizes=${SIZES} --jobs=${JOBS} --csv=${OUT}
+  COMMAND ${BENCH} ${SUBCOMMAND} --sizes=${SIZES} --jobs=${JOBS}
+          ${extra_args} --csv=${OUT}
   RESULT_VARIABLE run_rc
   OUTPUT_QUIET)
 if(NOT run_rc EQUAL 0)

@@ -1,8 +1,10 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <iostream>
+#include <map>
 
 #include "bench/driver.h"
 #include "src/adversary/beam.h"
@@ -10,6 +12,7 @@
 #include "src/adversary/registry.h"
 #include "src/analysis/csv.h"
 #include "src/bounds/theorem.h"
+#include "src/dynamics/registry.h"
 #include "src/engine/scenario.h"
 #include "src/support/options.h"
 #include "src/support/table.h"
@@ -33,27 +36,127 @@ int guarded(F&& body) {
 int usage(std::ostream& os) {
   os << "usage: dynbcast <subcommand> [flags]\n\n"
         "subcommands:\n"
-        "  sweep      Theorem 3.1 sweep: adversary portfolio + beam "
-        "witnesses vs the paper's bracket\n"
+        "  sweep      Theorem 3.1 sweep (default rooted-tree dynamics: "
+        "portfolio + beam\n"
+        "             witnesses vs the paper's bracket; any other "
+        "--dynamics runs the\n"
+        "             model-zoo sweep over sizes x seed replicates)\n"
         "             [--sizes=4:128:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
-        "             [--csv=path] [--adversaries=SPECS] [--beam-maxn=32] "
-        "[--beam-width=256]\n"
+        "             [--csv=path] [--adversaries=SPECS] "
+        "[--dynamics=SPEC] [--summary]\n"
+        "             [--cap=ROUNDS] [--beam-maxn=32] [--beam-width=256]\n"
         "  portfolio  general scenario runner over objective x dynamics x "
         "adversaries\n"
-        "             [--objective=broadcast|gossip] "
-        "[--dynamics=rooted-tree|restricted|nonsplit]\n"
+        "             [--objective=broadcast|gossip] [--dynamics=SPEC]\n"
         "             [--sizes=8:64:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
-        "             [--cap=ROUNDS] [--csv=path] [--adversaries=SPECS]\n"
+        "             [--cap=ROUNDS] [--csv=path] [--adversaries=SPECS] "
+        "[--summary]\n"
         "  duel       all listed adversaries fight one instance\n"
         "             [--n=32] [--seed=7] [--adversaries=SPECS] "
         "[--csv=path]\n"
         "  witness    offline beam witness search with verification\n"
         "             [--n=16] [--seed=7] [--beam=256] [--restarts=3]\n"
-        "  list       registered adversary specs and scenario vocabulary\n"
+        "  list       registered adversaries, the dynamics model zoo, and "
+        "scenario vocabulary\n"
         "\n"
         "adversary SPECS are ';'-separated registry spec strings, e.g.\n"
-        "  --adversaries=\"static-path;freeze-path:depth=3;beam:width=64\"\n";
+        "  --adversaries=\"static-path;freeze-path:depth=3;beam:width=64\"\n"
+        "dynamics SPEC is one DynamicsRegistry spec string, e.g.\n"
+        "  --dynamics=edge-markovian:p=0.2,q=0.1   (see 'dynbcast list')\n";
   return 2;
+}
+
+/// --summary: per-(n, member) aggregate over seed replicates, in
+/// first-appearance order (size-major, member order within each size).
+/// Incomplete (capped) runs count into the stats — a stalled stochastic
+/// model shows up as mean pinned at the cap, not as silence.
+[[nodiscard]] TextTable summaryTable(const std::vector<SweepRow>& rows) {
+  struct Acc {
+    std::size_t n = 0;
+    std::string member;
+    std::size_t runs = 0;
+    std::size_t completed = 0;
+    std::size_t minRounds = 0;
+    std::size_t maxRounds = 0;
+    double sum = 0.0;
+    double sumSq = 0.0;
+  };
+  std::vector<Acc> groups;
+  std::map<std::pair<std::size_t, std::string>, std::size_t> index;
+  for (const SweepRow& row : rows) {
+    const auto key = std::make_pair(row.n, row.member);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      it = index.emplace(key, groups.size()).first;
+      groups.push_back({row.n, row.member, 0, 0, row.rounds, row.rounds,
+                        0.0, 0.0});
+    }
+    Acc& acc = groups[it->second];
+    acc.runs += 1;
+    acc.completed += row.completed ? 1 : 0;
+    acc.minRounds = std::min(acc.minRounds, row.rounds);
+    acc.maxRounds = std::max(acc.maxRounds, row.rounds);
+    const double r = static_cast<double>(row.rounds);
+    acc.sum += r;
+    acc.sumSq += r * r;
+  }
+  TextTable table({"n", "member", "runs", "completed", "min", "mean", "max",
+                   "stddev"});
+  for (const Acc& acc : groups) {
+    const double mean = acc.sum / static_cast<double>(acc.runs);
+    const double variance =
+        acc.sumSq / static_cast<double>(acc.runs) - mean * mean;
+    table.row()
+        .add(static_cast<std::uint64_t>(acc.n))
+        .add(acc.member)
+        .add(static_cast<std::uint64_t>(acc.runs))
+        .add(static_cast<std::uint64_t>(acc.completed))
+        .add(static_cast<std::uint64_t>(acc.minRounds))
+        .add(mean, 2)
+        .add(static_cast<std::uint64_t>(acc.maxRounds))
+        .add(std::sqrt(std::max(0.0, variance)), 2);
+  }
+  return table;
+}
+
+void emitSummary(const std::vector<SweepRow>& rows) {
+  std::cout << "per-(n, member) summary over seed replicates:\n"
+            << summaryTable(rows).render() << '\n';
+}
+
+/// `sweep --dynamics=SPEC` for anything but the default rooted-tree
+/// dynamics: the model-zoo sweep. Same driver dialect, unified rows,
+/// deterministic at any --jobs.
+int runDynamicsSweep(BenchDriver& driver, const std::string& dynamicsText,
+                     bool wantSummary) {
+  ScenarioSpec scenario;
+  scenario.dynamics = dynamicsText;
+  scenario.sizes = driver.sizes();
+  scenario.masterSeed = driver.seed();
+  scenario.seedsPerSize = driver.seedsPerSize();
+  scenario.roundCap = driver.options().getUInt("cap", 0);
+  scenario.adversaries =
+      splitSpecList(driver.options().getString("adversaries", ""));
+
+  driver.printHeader("SWEEP — dynamics=" +
+                     DynamicsSpec::parse(dynamicsText).toString());
+  const ScenarioResult result = runScenario(scenario, driver.engine());
+
+  TextTable table(
+      {"n", "seed", "member", "rounds", "rounds/n", "completed"});
+  for (const ScenarioRow& row : result.rows) {
+    table.row()
+        .add(static_cast<std::uint64_t>(row.n))
+        .add(static_cast<std::uint64_t>(row.seedIndex))
+        .add(row.member)
+        .add(static_cast<std::uint64_t>(row.rounds))
+        .add(static_cast<double>(row.rounds) / static_cast<double>(row.n),
+             3)
+        .add(row.completed ? "yes" : "no");
+  }
+  driver.emit(table);
+  if (wantSummary) emitSummary(result.rows);
+  return 0;
 }
 
 }  // namespace
@@ -82,6 +185,14 @@ std::vector<std::string> splitSpecList(const std::string& text) {
 int runSweep(int argc, const char* const* argv) {
   return guarded([&] {
     BenchDriver driver(argc, argv, "4:128:2", 1);
+    const bool wantSummary = driver.options().has("summary");
+    const std::string dynamicsText =
+        driver.options().getString("dynamics", "rooted-tree");
+    if (DynamicsSpec::parse(dynamicsText).toString() != "rooted-tree") {
+      // Any non-default dynamics runs the model-zoo sweep; the theorem
+      // bracket below is specific to unrestricted rooted trees.
+      return runDynamicsSweep(driver, dynamicsText, wantSummary);
+    }
     // Beam witness search is the strongest (offline) adversary; it costs
     // real time and its advantage concentrates at small-to-mid n, so it
     // runs only up to a size cap by default.
@@ -102,6 +213,7 @@ int runSweep(int argc, const char* const* argv) {
     scenario.sizes = driver.sizes();
     scenario.masterSeed = driver.seed();
     scenario.seedsPerSize = driver.seedsPerSize();
+    scenario.roundCap = driver.options().getUInt("cap", 0);
     scenario.adversaries =
         splitSpecList(driver.options().getString("adversaries", ""));
     const ScenarioResult sweep = runScenario(scenario, driver.engine());
@@ -167,6 +279,8 @@ int runSweep(int argc, const char* const* argv) {
       std::cout << per.render() << '\n';
     }
 
+    if (wantSummary) emitSummary(sweep.rows);
+
     if (anyViolation) {
       std::cout << "RESULT: UPPER BOUND VIOLATION DETECTED (bug!)\n";
       return 1;
@@ -182,8 +296,8 @@ int runPortfolio(int argc, const char* const* argv) {
     ScenarioSpec scenario;
     scenario.objective =
         parseObjective(driver.options().getString("objective", "broadcast"));
-    scenario.dynamics = parseDynamics(
-        driver.options().getString("dynamics", "rooted-tree"));
+    scenario.dynamics =
+        driver.options().getString("dynamics", "rooted-tree");
     scenario.sizes = driver.sizes();
     scenario.masterSeed = driver.seed();
     scenario.seedsPerSize = driver.seedsPerSize();
@@ -191,9 +305,9 @@ int runPortfolio(int argc, const char* const* argv) {
     scenario.adversaries =
         splitSpecList(driver.options().getString("adversaries", ""));
 
-    driver.printHeader("SCENARIO — objective=" +
-                       objectiveName(scenario.objective) +
-                       ", dynamics=" + dynamicsName(scenario.dynamics));
+    driver.printHeader(
+        "SCENARIO — objective=" + objectiveName(scenario.objective) +
+        ", dynamics=" + DynamicsSpec::parse(scenario.dynamics).toString());
     const ScenarioResult result = runScenario(scenario, driver.engine());
 
     TextTable table(
@@ -224,6 +338,7 @@ int runPortfolio(int argc, const char* const* argv) {
           .add(static_cast<std::uint64_t>(instance.portfolio.bestRounds));
     }
     std::cout << best.render() << '\n';
+    if (driver.options().has("summary")) emitSummary(result.rows);
     return 0;
   });
 }
@@ -325,11 +440,40 @@ int runList(int argc, const char* const* argv) {
                   << "  " << param.description << '\n';
       }
     }
-    std::cout << "\nscenario vocabulary (portfolio subcommand):\n"
-                 "  --objective=broadcast|gossip\n"
-                 "  --dynamics=rooted-tree|restricted|nonsplit\n"
-                 "  nonsplit generators: nonsplit-random[:edges=E] "
-                 "(E=0 means 2n), nonsplit-skewed\n";
+
+    const DynamicsRegistry& dynRegistry = DynamicsRegistry::instance();
+    std::cout << "\ndynamics model zoo (--dynamics=SPEC, same grammar):\n\n";
+    for (const std::string& name : dynRegistry.names()) {
+      const DynamicsInfo& info = dynRegistry.info(name);
+      std::cout << "  " << name << "  ["
+                << (info.mode == DynamicsMode::kGraphModel
+                        ? "graph model"
+                        : info.mode == DynamicsMode::kGeneratorList
+                              ? "deprecated generator-list alias"
+                              : "adversary-driven")
+                << ", class=" << dynamicsClassName(info.graphClass)
+                << (info.stochastic ? ", stochastic" : "") << "]\n      "
+                << info.description << '\n';
+      if (!info.literature.empty()) {
+        std::cout << "      literature: " << info.literature << '\n';
+      }
+      for (const DynamicsParamDoc& param : info.params) {
+        std::cout << "      " << param.key << "=" << param.defaultValue
+                  << "  " << param.description << '\n';
+      }
+      if (!info.deprecation.empty()) {
+        std::cout << "      deprecated: " << info.deprecation << '\n';
+      }
+    }
+
+    std::cout << "\nscenario vocabulary (sweep/portfolio subcommands):\n"
+                 "  --objective=broadcast|gossip (gossip: adversary-driven "
+                 "dynamics only)\n"
+                 "  --dynamics=SPEC from the model zoo above\n"
+                 "  --adversaries=SPECS (adversary-driven dynamics; graph "
+                 "models take none)\n"
+                 "  --summary prints per-(n, member) stats over --seeds "
+                 "replicates\n";
     return 0;
   });
 }

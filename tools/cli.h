@@ -4,20 +4,27 @@
 // binaries can forward to them — bench_thm31_adversary_sweep is
 // `cli::runSweep` under its historical name):
 //
-//   sweep      Theorem 3.1 reproduction: portfolio sweep + beam
-//              witnesses vs the paper's bracket. The committed golden
-//              CSVs are byte-identical artifacts of this command.
+//   sweep      Theorem 3.1 reproduction under the default rooted-tree
+//              dynamics: portfolio sweep + beam witnesses vs the paper's
+//              bracket (the committed golden CSVs are byte-identical
+//              artifacts of this command). With any other
+//              --dynamics=SPEC it sweeps that model-zoo entry instead
+//              (stochastic-dynamics golden CSVs come from here too).
 //   portfolio  the general scenario runner: any objective × dynamics ×
 //              adversary spec list, unified per-run rows.
 //   duel       every listed adversary fights one (n, seed) instance;
 //              champion vs the theorem bracket.
 //   witness    offline beam witness search at one n, with verification.
-//   list       all registered adversary specs with their parameters.
+//   list       registered adversary specs, the dynamics model zoo, and
+//              the scenario vocabulary.
 //
 // Every subcommand that sweeps sizes speaks the shared bench/driver
-// dialect (--sizes/--seed/--seeds/--jobs/--csv); adversary lists are
-// semicolon-separated registry spec strings, e.g.
-//   --adversaries="static-path;freeze-path:depth=3;beam:width=64".
+// dialect (--sizes/--seed/--seeds/--jobs/--csv) and accepts --summary
+// (per-(n, member) mean/min/max/stddev over the --seeds replicates);
+// adversary lists are semicolon-separated registry spec strings, e.g.
+//   --adversaries="static-path;freeze-path:depth=3;beam:width=64",
+// and --dynamics takes one DynamicsRegistry spec string, e.g.
+//   --dynamics=edge-markovian:p=0.2,q=0.1.
 #pragma once
 
 #include <string>
