@@ -41,6 +41,9 @@ import sys
 DEFAULT_GATES = {
     "sweep:arena_speedup": 30.0,
     "sweep:product_blocked_speedup": 40.0,
+    # Machine-relative too, but both sides are full stochastic t* runs at
+    # a single n, so round-count luck adds variance on top of the runner's.
+    "sweep:frontier_sparse_speedup": 60.0,
     "kernel:orAssign:1024:gib_per_s": 60.0,
     "kernel:orCount:1024:gib_per_s": 60.0,
     "kernel:intersectAny:1024:gib_per_s": 60.0,
@@ -55,7 +58,9 @@ def flatten(kernels_doc, sweep_doc):
         out[prefix + ":gib_per_s"] = k.get("gib_per_s", 0.0)
         out[prefix + ":ns_per_op"] = k.get("ns_per_op", 0.0)
     for field in ("arena_speedup", "product_blocked_speedup",
-                  "portfolio_arena_ms", "portfolio_legacy_ms"):
+                  "portfolio_arena_ms", "portfolio_legacy_ms",
+                  "frontier_sparse_speedup", "frontier_dense_ms",
+                  "frontier_sparse_ms"):
         if field in sweep_doc:
             out["sweep:" + field] = sweep_doc[field]
     return out

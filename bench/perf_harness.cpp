@@ -28,8 +28,10 @@
 #include "bench/driver.h"
 #include "src/adversary/adaptive.h"
 #include "src/adversary/portfolio.h"
+#include "src/dynamics/registry.h"
 #include "src/graph/bitmatrix.h"
 #include "src/sim/broadcast_sim.h"
+#include "src/sim/frontier_sim.h"
 #include "src/support/bitset.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
@@ -207,6 +209,65 @@ KernelResult benchSimRound(std::size_t n, double minSeconds, Rng& rng) {
   return r;
 }
 
+KernelResult benchFrontierRound(std::size_t n, double minSeconds, Rng& rng) {
+  // simApplyTree's sparse twin: the same cyclic tree pool driven through
+  // FrontierSim, so the two rows compare the dense O(n²/64) recurrence
+  // against the O(active edges) frontier propagation at equal n.
+  std::vector<RootedTree> trees;
+  for (int i = 0; i < 32; ++i) trees.push_back(randomRootedTree(n, rng));
+  FrontierSim sim(n);
+  std::size_t next = 0;
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    sim.applyTree(trees[next]);
+    next = (next + 1) % trees.size();
+    if (sim.gossipDone()) sim.reset();
+    consume(sim.heardCount(0));
+  });
+  KernelResult r{"frontierApplyTree", n, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  return r;
+}
+
+/// Dense-vs-sparse crossover at one n: wall ms of a full edge-markovian
+/// t* run through each backend.
+struct FrontierCrossover {
+  std::size_t n = 0;
+  double denseMs = 0.0;
+  double sparseMs = 0.0;
+  std::size_t denseRounds = 0;
+  std::size_t sparseRounds = 0;
+};
+
+FrontierCrossover timeFrontierCrossover(std::size_t n, std::uint64_t seed) {
+  // Deliberately above kSparseDenseMirrorMaxN: past the threshold the
+  // sparse generator runs its native skip-sampling path (below it,
+  // mirror-mode replays the dense RNG stream and would mask the win).
+  // Stationary density 16/n keeps the graph sparse at any n while t*
+  // stays a handful of rounds.
+  char spec[64];
+  std::snprintf(spec, sizeof spec, "edge-markovian:p=%.8f,q=0.5",
+                8.0 / static_cast<double>(n));
+  FrontierCrossover out;
+  out.n = n;
+  {
+    const auto model = DynamicsRegistry::instance().make(spec, n, seed);
+    const auto start = Clock::now();
+    const BroadcastRun run = runDynamicsBroadcast(n, *model, /*maxRounds=*/64);
+    out.denseMs = secondsSince(start) * 1e3;
+    out.denseRounds = run.rounds;
+  }
+  {
+    const auto model = DynamicsRegistry::instance().make(spec, n, seed);
+    const auto start = Clock::now();
+    const BroadcastRun run =
+        runFrontierDynamicsBroadcast(n, *model, /*maxRounds=*/64,
+                                     /*recordHistory=*/false, seed);
+    out.sparseMs = secondsSince(start) * 1e3;
+    out.sparseRounds = run.rounds;
+  }
+  return out;
+}
+
 /// End-to-end portfolio sweep timing in one eval mode. Returns wall ms.
 double timePortfolioSweep(std::size_t n, std::uint64_t seed, bool legacy,
                           std::size_t* bestRounds) {
@@ -248,7 +309,8 @@ void writeKernelsJson(const std::string& path,
 void writeSweepJson(const std::string& path, std::size_t n,
                     std::uint64_t seed, bool quick, double legacyMs,
                     double arenaMs, std::size_t bestRounds,
-                    double productSpeedup, std::size_t productN) {
+                    double productSpeedup, std::size_t productN,
+                    const FrontierCrossover& frontier) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::cerr << "cannot write " << path << '\n';
@@ -263,6 +325,11 @@ void writeSweepJson(const std::string& path, std::size_t n,
   std::fprintf(f, "  \"arena_speedup\": %.4f,\n", legacyMs / arenaMs);
   std::fprintf(f, "  \"product_blocked_speedup\": %.4f,\n", productSpeedup);
   std::fprintf(f, "  \"product_n\": %zu,\n", productN);
+  std::fprintf(f, "  \"frontier_n\": %zu,\n", frontier.n);
+  std::fprintf(f, "  \"frontier_dense_ms\": %.3f,\n", frontier.denseMs);
+  std::fprintf(f, "  \"frontier_sparse_ms\": %.3f,\n", frontier.sparseMs);
+  std::fprintf(f, "  \"frontier_sparse_speedup\": %.4f,\n",
+               frontier.denseMs / frontier.sparseMs);
   std::fprintf(f, "  \"best_rounds\": %zu\n}\n", bestRounds);
   std::fclose(f);
   std::cout << "wrote " << path << '\n';
@@ -300,6 +367,7 @@ int main(int argc, char** argv) {
   const double productSpeedup =
       products[0].nsPerOp / products[1].nsPerOp;  // naive / blocked
   kernels.push_back(benchSimRound(sweepN, minSeconds, rng));
+  kernels.push_back(benchFrontierRound(sweepN, minSeconds, rng));
 
   TextTable kernelTable({"kernel", "bits/n", "reps", "ns/op", "GiB/s"});
   for (const KernelResult& k : kernels) {
@@ -326,14 +394,30 @@ int main(int argc, char** argv) {
       .add(legacyMs / arenaMs, 2)
       .add(static_cast<std::uint64_t>(bestRounds));
 
+  // --- dense vs sparse backend crossover (above the mirror threshold) -
+  const std::size_t frontierN = quick ? 4608 : 8192;
+  const FrontierCrossover frontier =
+      timeFrontierCrossover(frontierN, driver.seed());
+  TextTable frontierTable(
+      {"n", "dense ms", "sparse ms", "speedup", "dense t*", "sparse t*"});
+  frontierTable.row()
+      .add(static_cast<std::uint64_t>(frontier.n))
+      .add(frontier.denseMs, 1)
+      .add(frontier.sparseMs, 1)
+      .add(frontier.denseMs / frontier.sparseMs, 2)
+      .add(static_cast<std::uint64_t>(frontier.denseRounds))
+      .add(static_cast<std::uint64_t>(frontier.sparseRounds));
+
   // Only the kernel table goes through emit (and thus --csv); the sweep
   // numbers live in BENCH_sweep.json, which is the machine-readable copy.
   driver.emit(kernelTable);
   std::cout << '\n' << sweepTable.render() << '\n';
+  std::cout << '\n' << frontierTable.render() << '\n';
 
   writeKernelsJson(outDir + "/BENCH_kernels.json", kernels, quick,
                    driver.jobs());
   writeSweepJson(outDir + "/BENCH_sweep.json", sweepN, driver.seed(), quick,
-                 legacyMs, arenaMs, bestRounds, productSpeedup, productN);
+                 legacyMs, arenaMs, bestRounds, productSpeedup, productN,
+                 frontier);
   return 0;
 }

@@ -1,9 +1,17 @@
 #include "src/dynamics/dynamics.h"
 
+#include <stdexcept>
+
 #include "src/graph/properties.h"
 #include "src/support/assert.h"
 
 namespace dynbcast {
+
+void DynamicsModel::nextSparseRound(SparseRound&) {
+  throw std::logic_error("dynamics model '" + name() +
+                         "' has no sparse generation path "
+                         "(supportsSparseRounds() is false)");
+}
 
 std::string dynamicsClassName(DynamicsClass c) {
   switch (c) {
@@ -55,6 +63,48 @@ BroadcastRun runDynamicsBroadcast(std::size_t n, DynamicsModel& model,
     assertClass(g, n, model.graphClass());
     sim.applyGraph(g);
     if (recordHistory) run.history.push_back(sim.metrics());
+    if (sim.broadcastDone()) {
+      run.rounds = sim.round();
+      run.completed = true;
+      return run;
+    }
+  }
+  run.rounds = sim.round();
+  run.completed = false;
+  return run;
+}
+
+BroadcastRun runFrontierDynamicsBroadcast(std::size_t n, DynamicsModel& model,
+                                          std::size_t maxRounds,
+                                          bool recordHistory,
+                                          std::uint64_t sampleSeed) {
+  DYNBCAST_ASSERT_MSG(model.supportsSparseRounds(),
+                      "the sparse driver needs a sparse-capable model");
+  if (!recordHistory) {
+    DynamicsRoundSource source(model);
+    FrontierTStarOptions options;
+    options.maxRounds = maxRounds;
+    options.sampleSeed = sampleSeed;
+    const FrontierTStarResult tstar = runFrontierTStar(n, source, options);
+    BroadcastRun run;
+    run.rounds = tstar.rounds;
+    run.completed = tstar.completed;
+    return run;
+  }
+  // History wanted: run the exact full-state engine so per-round metrics
+  // match the dense driver's bit for bit.
+  model.reset();
+  FrontierSim sim(n);
+  BroadcastRun run;
+  if (sim.broadcastDone()) {
+    run.completed = true;
+    return run;
+  }
+  SparseRound round;
+  while (sim.round() < maxRounds) {
+    model.nextSparseRound(round);
+    sim.applyEdges(round);
+    run.history.push_back(sim.metrics());
     if (sim.broadcastDone()) {
       run.rounds = sim.round();
       run.completed = true;

@@ -28,8 +28,19 @@
 
 #include "src/graph/bitmatrix.h"
 #include "src/sim/broadcast_sim.h"
+#include "src/sim/frontier_sim.h"
 
 namespace dynbcast {
+
+/// Size at or below which sparse-capable models MIRROR the dense
+/// generator: nextSparseRound() emits bit-identical graphs to
+/// nextGraph() by replaying the same RNG call sequence, so the dense and
+/// sparse backends produce identical rows at overlapping n (the golden
+/// CSVs rely on this). Above it, models switch to native O(edges)
+/// generation (skip-sampling) whose arc stream is distributionally
+/// equivalent but not RNG-identical — the regime where the dense matrix
+/// could not be materialized anyway.
+inline constexpr std::size_t kSparseDenseMirrorMaxN = 4096;
 
 /// The structural guarantee a model declares for every graph it emits
 /// (always in addition to reflexivity — self-loops model "no forgetting").
@@ -67,6 +78,39 @@ class DynamicsModel {
   /// Rewinds to the constructed seed: the next nextGraph() sequence
   /// replays the previous one exactly.
   virtual void reset() {}
+
+  /// True when the model can emit rounds as arc lists without ever
+  /// materializing the dense matrix (nextSparseRound below). Oblivious
+  /// stochastic models can; adversary-driven dynamics cannot (their
+  /// moves inspect the dense simulator state).
+  [[nodiscard]] virtual bool supportsSparseRounds() const { return false; }
+
+  /// The communication graph for the next round as a SparseRound
+  /// (self-loops implicit). Contract mirrors nextGraph(): all randomness
+  /// flows from the constructed seed, reset() rewinds the sequence, and
+  /// for n ≤ kSparseDenseMirrorMaxN the emitted graph is bit-identical
+  /// to what nextGraph() would have produced. A model instance must be
+  /// driven through ONE of the two interfaces per run (reset() starts a
+  /// fresh run). Throws std::logic_error unless supportsSparseRounds().
+  virtual void nextSparseRound(SparseRound& out);
+};
+
+/// SparseRoundSource adapter over a DynamicsModel — feeds the t*-only
+/// frontier mode from any sparse-capable model.
+class DynamicsRoundSource final : public SparseRoundSource {
+ public:
+  explicit DynamicsRoundSource(DynamicsModel& model) : model_(model) {}
+
+  void reset() override { model_.reset(); }
+
+  const SparseRound& next() override {
+    model_.nextSparseRound(round_);
+    return round_;
+  }
+
+ private:
+  DynamicsModel& model_;
+  SparseRound round_;
 };
 
 /// Drives a BroadcastSim with graphs from `model` (reset first) until
@@ -77,5 +121,20 @@ class DynamicsModel {
                                                 DynamicsModel& model,
                                                 std::size_t maxRounds,
                                                 bool recordHistory = false);
+
+/// The sparse twin of runDynamicsBroadcast: drives `model` through its
+/// nextSparseRound() stream (the model must supportSparseRounds()).
+/// Without history it runs the O(n)-memory t*-only frontier mode; with
+/// recordHistory it runs the exact FrontierSim so per-round metrics come
+/// out identical to the dense driver's. Either way rounds/completed are
+/// bit-identical to runDynamicsBroadcast whenever the model's sparse
+/// generation mirrors its dense one (always at n ≤
+/// kSparseDenseMirrorMaxN). `sampleSeed` tunes the t*-mode sampling and
+/// never affects results. Unlike the dense driver, the declared graph
+/// class is not re-asserted per round (that check is O(n²)); the
+/// differential suite enforces it at overlapping sizes instead.
+[[nodiscard]] BroadcastRun runFrontierDynamicsBroadcast(
+    std::size_t n, DynamicsModel& model, std::size_t maxRounds,
+    bool recordHistory = false, std::uint64_t sampleSeed = 0);
 
 }  // namespace dynbcast

@@ -1,6 +1,9 @@
 #include "src/dynamics/registry.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -13,6 +16,62 @@
 namespace dynbcast {
 
 namespace {
+
+/// Extracts a dense round into an arc list (diagonal skipped; self-loops
+/// are implicit on the sparse path) — the mirror-mode bridge that keeps
+/// sparse generation bit-identical to dense at overlapping n.
+void appendArcsFromDense(const BitMatrix& g, SparseRound& out) {
+  const std::size_t n = g.dim();
+  for (std::size_t x = 0; x < n; ++x) {
+    const DynBitset& row = g.row(x);
+    const std::uint64_t* words = row.wordData();
+    for (std::size_t wi = 0; wi < row.wordCount(); ++wi) {
+      std::uint64_t w = words[wi];
+      while (w != 0) {
+        const std::size_t y =
+            wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+        w &= w - 1;
+        if (y == x) continue;
+        out.arcs.emplace_back(static_cast<std::uint32_t>(x),
+                              static_cast<std::uint32_t>(y));
+      }
+    }
+  }
+}
+
+/// Calls fn(i) for each success of an iid Bernoulli(p) process over
+/// i ∈ [0, space), in ascending order, using geometric skip-sampling —
+/// O(successes) RNG draws instead of O(space). Distributionally
+/// equivalent to per-index chance(p) but NOT the same RNG call sequence,
+/// so it is only used above kSparseDenseMirrorMaxN.
+template <typename Fn>
+void skipSampleBernoulli(std::uint64_t space, double p, Rng& rng, Fn&& fn) {
+  if (p <= 0.0 || space == 0) return;
+  if (p >= 1.0) {
+    for (std::uint64_t i = 0; i < space; ++i) fn(i);
+    return;
+  }
+  const double denom = std::log1p(-p);
+  std::uint64_t i = 0;
+  while (i < space) {
+    double u = rng.uniformReal();
+    if (u <= 0.0) u = std::numeric_limits<double>::min();
+    const double gap = std::floor(std::log(u) / denom);
+    if (gap >= static_cast<double>(space - i)) return;
+    i += static_cast<std::uint64_t>(gap);
+    fn(i);
+    ++i;
+  }
+}
+
+/// Decodes an index of the n(n-1) off-diagonal ordered-pair space into
+/// its (x, y) arc; indices ascend lexicographically in (x, y).
+inline std::pair<std::uint32_t, std::uint32_t> decodePair(std::uint64_t i,
+                                                          std::size_t n) {
+  const auto x = static_cast<std::uint32_t>(i / (n - 1));
+  const auto r = static_cast<std::uint32_t>(i % (n - 1));
+  return {x, r + (r >= x ? 1 : 0)};
+}
 
 /// Stall-detector cap for the stochastic models with no sharper published
 /// bound here (edge-Markovian, T-interval): oblivious dynamic sequences
@@ -50,9 +109,38 @@ class NonsplitRandomModel final : public SeededGraphModel {
                       double p, std::string name)
       : SeededGraphModel(n, seed, std::move(name)), edges_(edges), p_(p) {}
 
-  BitMatrix nextGraph(const BroadcastSim&) override {
-    if (p_ > 0.0) return bernoulliNonsplitGraph(n_, p_, rng_);
-    return randomNonsplitGraph(n_, edges_ != 0 ? edges_ : 2 * n_, rng_);
+  BitMatrix nextGraph(const BroadcastSim&) override { return denseDraw(); }
+
+  [[nodiscard]] bool supportsSparseRounds() const override { return true; }
+
+  void nextSparseRound(SparseRound& out) override {
+    out.n = n_;
+    out.sameAsPrevious = false;
+    out.arcs.clear();
+    if (n_ <= kSparseDenseMirrorMaxN) {
+      appendArcsFromDense(denseDraw(), out);
+      return;
+    }
+    // Native sparse draw: the same random arcs, but the dense repair
+    // pass (which walks all pairs) is replaced by a random hub informing
+    // everyone — still nonsplit (the hub is a common in-neighbor of
+    // every pair), distributionally close rather than identical.
+    if (p_ > 0.0) {
+      skipSampleBernoulli(
+          static_cast<std::uint64_t>(n_) * (n_ - 1), p_, rng_,
+          [&](std::uint64_t i) { out.arcs.push_back(decodePair(i, n_)); });
+    } else {
+      const std::size_t count = edges_ != 0 ? edges_ : 2 * n_;
+      for (std::size_t e = 0; e < count; ++e) {
+        const auto x = static_cast<std::uint32_t>(rng_.uniform(n_));
+        const auto y = static_cast<std::uint32_t>(rng_.uniform(n_));
+        if (x != y) out.arcs.emplace_back(x, y);
+      }
+    }
+    const auto hub = static_cast<std::uint32_t>(rng_.uniform(n_));
+    for (std::uint32_t y = 0; y < n_; ++y) {
+      if (y != hub) out.arcs.emplace_back(hub, y);
+    }
   }
 
   [[nodiscard]] DynamicsClass graphClass() const override {
@@ -64,6 +152,11 @@ class NonsplitRandomModel final : public SeededGraphModel {
   }
 
  private:
+  BitMatrix denseDraw() {
+    if (p_ > 0.0) return bernoulliNonsplitGraph(n_, p_, rng_);
+    return randomNonsplitGraph(n_, edges_ != 0 ? edges_ : 2 * n_, rng_);
+  }
+
   std::size_t edges_;
   double p_;
 };
@@ -97,12 +190,82 @@ class EdgeMarkovianModel final : public SeededGraphModel {
  public:
   EdgeMarkovianModel(std::size_t n, std::uint64_t seed, double p, double q,
                      std::string name)
-      : SeededGraphModel(n, seed, std::move(name)),
-        p_(p),
-        q_(q),
-        edges_(n) {}
+      : SeededGraphModel(n, seed, std::move(name)), p_(p), q_(q) {}
 
   BitMatrix nextGraph(const BroadcastSim&) override {
+    denseStep();
+    BitMatrix g = edges_;
+    for (std::size_t v = 0; v < n_; ++v) g.set(v, v);
+    return g;
+  }
+
+  [[nodiscard]] bool supportsSparseRounds() const override { return true; }
+
+  void nextSparseRound(SparseRound& out) override {
+    out.n = n_;
+    out.sameAsPrevious = false;
+    out.arcs.clear();
+    if (n_ <= kSparseDenseMirrorMaxN) {
+      // Mirror mode: the exact dense RNG call sequence, arcs extracted
+      // from the evolved matrix.
+      denseStep();
+      appendArcsFromDense(edges_, out);
+      return;
+    }
+    // Native sparse evolution over the present-arc list: deaths by
+    // per-arc Bernoulli(q), births by skip-sampling Bernoulli(p) over
+    // the whole pair space with present pairs rejected (a present pair
+    // only faces death this round, exactly as in the dense step).
+    const std::uint64_t space = static_cast<std::uint64_t>(n_) * (n_ - 1);
+    if (!sparseStarted_) {
+      const double stationary = p_ + q_ > 0.0 ? p_ / (p_ + q_) : 1.0;
+      sparseKeys_.clear();
+      skipSampleBernoulli(space, stationary, rng_,
+                          [&](std::uint64_t i) { sparseKeys_.push_back(i); });
+      sparseStarted_ = true;
+    } else {
+      survivorKeys_.clear();
+      for (const std::uint64_t key : sparseKeys_) {
+        if (!rng_.chance(q_)) survivorKeys_.push_back(key);
+      }
+      birthKeys_.clear();
+      skipSampleBernoulli(space, p_, rng_, [&](std::uint64_t i) {
+        if (!std::binary_search(sparseKeys_.begin(), sparseKeys_.end(), i)) {
+          birthKeys_.push_back(i);
+        }
+      });
+      mergedKeys_.clear();
+      mergedKeys_.reserve(survivorKeys_.size() + birthKeys_.size());
+      std::merge(survivorKeys_.begin(), survivorKeys_.end(),
+                 birthKeys_.begin(), birthKeys_.end(),
+                 std::back_inserter(mergedKeys_));
+      sparseKeys_.swap(mergedKeys_);
+    }
+    out.arcs.reserve(sparseKeys_.size());
+    for (const std::uint64_t key : sparseKeys_) {
+      out.arcs.push_back(decodePair(key, n_));
+    }
+  }
+
+  [[nodiscard]] DynamicsClass graphClass() const override {
+    return DynamicsClass::kNone;
+  }
+
+  [[nodiscard]] std::size_t defaultRoundCap() const override {
+    return stochasticStallCap(n_);
+  }
+
+  void reset() override {
+    SeededGraphModel::reset();
+    started_ = false;
+    sparseStarted_ = false;
+    sparseKeys_.clear();
+  }
+
+ private:
+  /// One dense chain step into edges_ (stationary draw first, evolution
+  /// after) — shared by nextGraph and the sparse mirror mode.
+  void denseStep() {
     if (!started_) {
       const double stationary = p_ + q_ > 0.0 ? p_ / (p_ + q_) : 1.0;
       edges_ = BitMatrix(n_);
@@ -124,29 +287,21 @@ class EdgeMarkovianModel final : public SeededGraphModel {
         }
       }
     }
-    BitMatrix g = edges_;
-    for (std::size_t v = 0; v < n_; ++v) g.set(v, v);
-    return g;
   }
 
-  [[nodiscard]] DynamicsClass graphClass() const override {
-    return DynamicsClass::kNone;
-  }
-
-  [[nodiscard]] std::size_t defaultRoundCap() const override {
-    return stochasticStallCap(n_);
-  }
-
-  void reset() override {
-    SeededGraphModel::reset();
-    started_ = false;
-  }
-
- private:
   double p_;
   double q_;
+  /// Dense chain state — allocated by the first denseStep() only, so the
+  /// native sparse path never pays the O(n²) bits.
   BitMatrix edges_;
   bool started_ = false;
+  bool sparseStarted_ = false;
+  /// Present off-diagonal arcs as sorted pair-space indices (see
+  /// decodePair) — the O(edges) state of the native sparse chain.
+  std::vector<std::uint64_t> sparseKeys_;
+  std::vector<std::uint64_t> survivorKeys_;
+  std::vector<std::uint64_t> birthKeys_;
+  std::vector<std::uint64_t> mergedKeys_;
 };
 
 /// "t-interval": a uniformly random spanning tree, symmetrized (both
@@ -172,6 +327,32 @@ class TIntervalModel final : public SeededGraphModel {
     return current_;
   }
 
+  [[nodiscard]] bool supportsSparseRounds() const override { return true; }
+
+  void nextSparseRound(SparseRound& out) override {
+    // Consumes exactly the same RNG stream as nextGraph (one
+    // randomRootedTree per period), so sparse mirrors dense at EVERY n —
+    // a tree has 2(n-1) symmetrized arcs, never a dense matrix.
+    out.n = n_;
+    if (age_ == 0) {
+      const RootedTree tree = randomRootedTree(n_, rng_);
+      sparseArcs_.clear();
+      sparseArcs_.reserve(2 * (n_ - 1));
+      for (std::size_t v = 0; v < n_; ++v) {
+        if (v == tree.root()) continue;
+        const auto parent = static_cast<std::uint32_t>(tree.parent(v));
+        const auto child = static_cast<std::uint32_t>(v);
+        sparseArcs_.emplace_back(parent, child);
+        sparseArcs_.emplace_back(child, parent);
+      }
+      out.sameAsPrevious = false;
+    } else {
+      out.sameAsPrevious = true;
+    }
+    out.arcs = sparseArcs_;
+    age_ = (age_ + 1) % period_;
+  }
+
   [[nodiscard]] DynamicsClass graphClass() const override {
     return DynamicsClass::kNone;
   }
@@ -184,12 +365,14 @@ class TIntervalModel final : public SeededGraphModel {
     SeededGraphModel::reset();
     age_ = 0;
     current_ = BitMatrix();
+    sparseArcs_.clear();
   }
 
  private:
   std::size_t period_;
   std::size_t age_ = 0;
   BitMatrix current_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sparseArcs_;
 };
 
 void registerBuiltins(DynamicsRegistry& reg) {
@@ -279,6 +462,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
     info.literature = "Charron-Bost & Schiper [2] (log n broadcast)";
     info.graphClass = DynamicsClass::kNonsplit;
     info.stochastic = true;
+    info.sparseCapable = true;
     info.params = {
         {"edges", "0", "random extra edges before the repair; 0 = 2n"},
         {"p", "0",
@@ -336,6 +520,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
         "et al.)";
     info.graphClass = DynamicsClass::kNone;
     info.stochastic = true;
+    info.sparseCapable = true;
     info.params = {{"p", "0.2", "edge birth probability (0 < p <= 1)"},
                    {"q", "0.1", "edge death probability (0 <= q <= 1)"}};
     info.validateParams = [](const DynamicsParams& params) {
@@ -369,6 +554,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
     info.literature = "Kuhn, Lynch & Oshman (STOC '10)";
     info.graphClass = DynamicsClass::kNone;
     info.stochastic = true;
+    info.sparseCapable = true;
     info.params = {{"T", "4", "rounds each spanning subgraph stays stable"}};
     info.validateParams = [](const DynamicsParams& params) {
       if (params.getUInt("T", 4) < 1) {

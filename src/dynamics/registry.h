@@ -84,6 +84,12 @@ struct DynamicsInfo {
   /// True when runs draw fresh randomness from the instance seed (and so
   /// need the engine's position-derived seeding to stay deterministic).
   bool stochastic = false;
+  /// True when the entry's models supportSparseRounds(): the sparse
+  /// backend (ScenarioSpec backend=sparse/auto) may drive them through
+  /// nextSparseRound() without materializing any dense matrix. Keep in
+  /// sync with the factory's models — validateScenario trusts this flag
+  /// at composition time.
+  bool sparseCapable = false;
   std::vector<DynamicsParamDoc> params;  ///< the only accepted keys
   /// Eager parameter-value check (ranges, enumerations) run by
   /// validate(); may be null. Factories re-check, but this fires at

@@ -12,6 +12,11 @@
 
 namespace dynbcast {
 
+static_assert(kAutoSparseThreshold == kSparseDenseMirrorMaxN,
+              "auto must only pick sparse where sparse generation stops "
+              "mirroring dense, so backend choice never changes rows at "
+              "sizes both backends serve routinely");
+
 namespace {
 
 /// Member-index seed decorrelation for graph-model runs: a fixed odd
@@ -166,12 +171,21 @@ struct InstancePlan {
       [&](std::size_t t, std::uint64_t) {
         const auto [p, m] = taskOf[t];
         const InstancePlan& instance = plan[p];
-        const std::unique_ptr<DynamicsModel> model = registry.make(
-            parsed[m], instance.n, memberSeed(instance.instanceSeed, m));
+        const std::uint64_t seed = memberSeed(instance.instanceSeed, m);
+        const std::unique_ptr<DynamicsModel> model =
+            registry.make(parsed[m], instance.n, seed);
         const std::size_t cap = spec.roundCap != 0 ? spec.roundCap
                                                    : model->defaultRoundCap();
-        BroadcastRun run = runDynamicsBroadcast(instance.n, *model, cap,
-                                                spec.recordHistory);
+        const bool useSparse =
+            spec.backend == SimBackend::kSparse ||
+            (spec.backend == SimBackend::kAuto &&
+             model->supportsSparseRounds() && !spec.recordHistory &&
+             instance.n > kAutoSparseThreshold);
+        BroadcastRun run =
+            useSparse ? runFrontierDynamicsBroadcast(instance.n, *model, cap,
+                                                     spec.recordHistory, seed)
+                      : runDynamicsBroadcast(instance.n, *model, cap,
+                                             spec.recordHistory);
         SweepRow row;
         row.n = instance.n;
         row.seedIndex = instance.seedIndex;
@@ -219,6 +233,30 @@ std::string objectiveName(Objective objective) {
   return objective == Objective::kBroadcast ? "broadcast" : "gossip";
 }
 
+SimBackend parseSimBackend(const std::string& text) {
+  if (text == "dense") return SimBackend::kDense;
+  if (text == "sparse") return SimBackend::kSparse;
+  if (text == "auto") return SimBackend::kAuto;
+  std::string message = "unknown backend '" + text + "'";
+  const std::string suggestion =
+      closestMatch(text, {"dense", "sparse", "auto"});
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  message += " (known: dense, sparse, auto)";
+  throw std::invalid_argument(message);
+}
+
+std::string simBackendName(SimBackend backend) {
+  switch (backend) {
+    case SimBackend::kDense:
+      return "dense";
+    case SimBackend::kSparse:
+      return "sparse";
+    case SimBackend::kAuto:
+      return "auto";
+  }
+  return "auto";
+}
+
 std::vector<std::string> defaultAdversarySpecs(const std::string& dynamics) {
   const DynamicsSpec parsed = DynamicsSpec::parse(dynamics);
   const DynamicsInfo& entry = DynamicsRegistry::instance().info(parsed.name);
@@ -256,14 +294,41 @@ void validateScenario(const ScenarioSpec& spec) {
           "the adversary list must be empty (got '" + spec.adversaries[0] +
           "')");
     }
+    if (spec.backend == SimBackend::kSparse && !entry.sparseCapable) {
+      std::string capable;
+      for (const std::string& name : dynRegistry.names()) {
+        if (!dynRegistry.info(name).sparseCapable) continue;
+        if (!capable.empty()) capable += ", ";
+        capable += name;
+      }
+      throw std::invalid_argument(
+          "dynamics '" + dynamics.name +
+          "' has no sparse generation path; use backend=dense or "
+          "backend=auto (sparse-capable models: " + capable + ")");
+    }
     return;
   }
 
   if (entry.mode == DynamicsMode::kGeneratorList) {
+    if (spec.backend == SimBackend::kSparse) {
+      throw std::invalid_argument(
+          "backend=sparse is not supported under the deprecated '" +
+          dynamics.name +
+          "' alias; name the generator as the dynamics spec instead "
+          "(e.g. dynamics=nonsplit-random)");
+    }
     for (const std::string& text : resolvedSpecs(spec)) {
       validateGeneratorEntry(text);
     }
     return;
+  }
+
+  if (spec.backend == SimBackend::kSparse) {
+    throw std::invalid_argument(
+        "dynamics '" + dynamics.name +
+        "' is adversary-driven: the adversary reads the full dense "
+        "simulator state, so backend=sparse cannot run it; use "
+        "backend=dense or backend=auto");
   }
 
   const AdversaryRegistry& registry = AdversaryRegistry::instance();

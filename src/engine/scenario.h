@@ -35,6 +35,25 @@ enum class Objective { kBroadcast, kGossip };
 [[nodiscard]] Objective parseObjective(const std::string& text);
 [[nodiscard]] std::string objectiveName(Objective objective);
 
+/// Which simulation engine executes the runs. Dense is the bitset
+/// BroadcastSim (O(n²) bits of state); sparse is the FrontierSim path
+/// (arc-list rounds, O(n + edges) state), valid only for sparse-capable
+/// graph-model dynamics. Auto resolves per instance: sparse above
+/// kAutoSparseThreshold when the model supports it and no per-round
+/// history is wanted, dense otherwise. Rows are backend-invariant at
+/// n ≤ kAutoSparseThreshold (sparse generation mirrors dense there), so
+/// golden CSVs hold across backends.
+enum class SimBackend { kDense, kSparse, kAuto };
+
+/// Auto switches to sparse strictly above this size. Equal to the
+/// dynamics layer's kSparseDenseMirrorMaxN (static_assert'd in
+/// scenario.cpp): below it sparse/dense rows are bit-identical, so the
+/// auto choice is observable only where the dense matrix starts to hurt.
+inline constexpr std::size_t kAutoSparseThreshold = 4096;
+
+[[nodiscard]] SimBackend parseSimBackend(const std::string& text);
+[[nodiscard]] std::string simBackendName(SimBackend backend);
+
 struct ScenarioSpec {
   Objective objective = Objective::kBroadcast;
   /// DynamicsRegistry spec string naming the dynamic-graph model (the
@@ -57,6 +76,9 @@ struct ScenarioSpec {
   std::vector<std::string> adversaries;
   /// Capture per-round metrics in every row (costly at large n).
   bool recordHistory = false;
+  /// Simulation engine selection (see SimBackend). kSparse requires a
+  /// sparse-capable graph-model dynamics; kAuto is always valid.
+  SimBackend backend = SimBackend::kAuto;
 };
 
 /// The default member list for a dynamics spec: the standard portfolio

@@ -229,6 +229,106 @@ TEST(DynamicsRegistryTest, DuplicateOrInconsistentRegistrationThrows) {
   EXPECT_THROW(registry.add(extraFactory), std::invalid_argument);
 }
 
+TEST(DynamicsRegistryTest, EveryModelReplaysAtParamBoundaries) {
+  // Registry-wide: every graph model × every documented parameter, pinned
+  // at a boundary value the validator accepts, must construct and replay
+  // deterministically across reset() — on nextGraph AND (when the entry
+  // claims sparseCapable) on nextSparseRound. Guards the registry against
+  // a model whose edge-of-range parameterization silently consumes
+  // randomness differently on replay.
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  const std::size_t n = 24;
+  const BroadcastSim state(n);
+  // Boundary candidates per key, tried in order; the first one the
+  // entry's validator accepts wins. Taking one key at a time also keeps
+  // mutually-exclusive pairs (nonsplit-random's edges/p) apart.
+  const std::vector<std::string> candidates = {"1", "0", "0.999", "0.001"};
+  for (const std::string& name : registry.names()) {
+    const DynamicsInfo& info = registry.info(name);
+    if (info.mode != DynamicsMode::kGraphModel) continue;
+    std::vector<std::string> specs = {name};  // all-defaults baseline
+    for (const DynamicsParamDoc& param : info.params) {
+      bool accepted = false;
+      for (const std::string& value : candidates) {
+        const std::string text = name + ":" + param.key + "=" + value;
+        try {
+          registry.validate(DynamicsSpec::parse(text));
+        } catch (const std::invalid_argument&) {
+          continue;
+        }
+        specs.push_back(text);
+        accepted = true;
+        break;
+      }
+      EXPECT_TRUE(accepted)
+          << name << ": no boundary candidate accepted for key '"
+          << param.key << "'";
+    }
+    for (const std::string& spec : specs) {
+      const auto model = registry.make(spec, n, 77);
+      std::vector<BitMatrix> firstRun;
+      for (std::size_t round = 0; round < 4; ++round) {
+        firstRun.push_back(model->nextGraph(state));
+      }
+      model->reset();
+      for (std::size_t round = 0; round < 4; ++round) {
+        EXPECT_EQ(model->nextGraph(state), firstRun[round])
+            << spec << " replay round " << round;
+      }
+      EXPECT_EQ(model->supportsSparseRounds(), info.sparseCapable) << spec;
+      if (!info.sparseCapable) continue;
+      // The sparse interface replays too (fresh models: a run consumes
+      // one interface only).
+      const auto sparseA = registry.make(spec, n, 77);
+      const auto sparseB = registry.make(spec, n, 77);
+      SparseRound ra, rb;
+      std::vector<SparseRound> sparseFirst;
+      for (std::size_t round = 0; round < 4; ++round) {
+        sparseA->nextSparseRound(ra);
+        sparseB->nextSparseRound(rb);
+        EXPECT_EQ(ra.arcs, rb.arcs) << spec << " round " << round;
+        sparseFirst.push_back(ra);
+      }
+      sparseA->reset();
+      for (std::size_t round = 0; round < 4; ++round) {
+        sparseA->nextSparseRound(ra);
+        EXPECT_EQ(ra.arcs, sparseFirst[round].arcs)
+            << spec << " sparse replay round " << round;
+      }
+    }
+  }
+}
+
+TEST(DynamicsRegistryTest, SparseRoundsMirrorDenseBelowThreshold) {
+  // The mirror contract golden CSVs rely on: at n ≤
+  // kSparseDenseMirrorMaxN, nextSparseRound must produce exactly the
+  // dense graph's off-diagonal arcs (same seed, same round index).
+  const DynamicsRegistry& registry = DynamicsRegistry::instance();
+  const std::size_t n = 24;
+  ASSERT_LE(n, kSparseDenseMirrorMaxN);
+  const BroadcastSim state(n);
+  for (const std::string& name : registry.names()) {
+    const DynamicsInfo& info = registry.info(name);
+    if (info.mode != DynamicsMode::kGraphModel || !info.sparseCapable) {
+      continue;
+    }
+    const auto denseModel = registry.make(name, n, 31);
+    const auto sparseModel = registry.make(name, n, 31);
+    SparseRound round;
+    for (std::size_t r = 0; r < 6; ++r) {
+      const BitMatrix g = denseModel->nextGraph(state);
+      sparseModel->nextSparseRound(round);
+      ASSERT_EQ(round.n, n) << name;
+      BitMatrix fromArcs = BitMatrix::identity(n);
+      for (const auto& [src, dst] : round.arcs) {
+        EXPECT_NE(src, dst) << name << ": self-loops must stay implicit";
+        fromArcs.set(src, dst);
+      }
+      EXPECT_EQ(fromArcs, g) << name << " round " << r;
+    }
+  }
+}
+
 TEST(DynamicsDriverTest, RunDynamicsBroadcastCompletesAndReplays) {
   const DynamicsRegistry& registry = DynamicsRegistry::instance();
   for (const std::string& spec :

@@ -342,6 +342,121 @@ TEST(ScenarioTest, GraphModelHistoryIsRecordedOnDemand) {
   EXPECT_EQ(traced.rows[0].history.size(), traced.rows[0].rounds);
 }
 
+TEST(ScenarioVocabularyTest, BackendParseAndPrintRoundTrip) {
+  EXPECT_EQ(parseSimBackend("dense"), SimBackend::kDense);
+  EXPECT_EQ(parseSimBackend("sparse"), SimBackend::kSparse);
+  EXPECT_EQ(parseSimBackend("auto"), SimBackend::kAuto);
+  EXPECT_EQ(simBackendName(SimBackend::kDense), "dense");
+  EXPECT_EQ(simBackendName(SimBackend::kSparse), "sparse");
+  EXPECT_EQ(simBackendName(SimBackend::kAuto), "auto");
+  try {
+    (void)parseSimBackend("spars");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("sparse"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioBackendTest, SparseRowsMatchDenseRowsBitForBit) {
+  // The backend is an execution detail, not a semantics knob: at mirror
+  // sizes (all of these are ≤ kAutoSparseThreshold) every row must be
+  // identical across dense and sparse, for every sparse-capable model.
+  // Sizes straddle 64 so the t*-mode's sampling/certification path runs.
+  ExperimentEngine engine({.jobs = 2});
+  for (const std::string& dynamics :
+       {std::string("edge-markovian:p=0.2,q=0.1"),
+        std::string("t-interval:T=3"),
+        std::string("nonsplit-random:p=0.2")}) {
+    ScenarioSpec scenario;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {8, 24, 70, 100};
+    scenario.seedsPerSize = 2;
+    scenario.masterSeed = 5;
+    scenario.backend = SimBackend::kDense;
+    const ScenarioResult dense = runScenario(scenario, engine);
+    scenario.backend = SimBackend::kSparse;
+    const ScenarioResult sparse = runScenario(scenario, engine);
+    ASSERT_EQ(dense.rows.size(), sparse.rows.size()) << dynamics;
+    for (std::size_t i = 0; i < dense.rows.size(); ++i) {
+      EXPECT_EQ(dense.rows[i], sparse.rows[i]) << dynamics << " row " << i;
+    }
+  }
+}
+
+TEST(ScenarioBackendTest, SparseHistoryMatchesDense) {
+  // recordHistory routes the sparse backend through the exact full-state
+  // FrontierSim; per-round metrics must match the dense engine's.
+  ExperimentEngine engine;
+  ScenarioSpec scenario;
+  scenario.dynamics = "edge-markovian:p=0.25,q=0.1";
+  scenario.sizes = {20};
+  scenario.recordHistory = true;
+  scenario.backend = SimBackend::kDense;
+  const ScenarioResult dense = runScenario(scenario, engine);
+  scenario.backend = SimBackend::kSparse;
+  const ScenarioResult sparse = runScenario(scenario, engine);
+  ASSERT_EQ(dense.rows.size(), 1u);
+  ASSERT_EQ(sparse.rows.size(), 1u);
+  EXPECT_EQ(dense.rows[0], sparse.rows[0]);
+  EXPECT_EQ(sparse.rows[0].history.size(), sparse.rows[0].rounds);
+}
+
+TEST(ScenarioBackendTest, SparseRowsAreBitIdenticalAcrossJobCounts) {
+  ScenarioSpec scenario;
+  scenario.dynamics = "edge-markovian:p=0.2,q=0.1";
+  scenario.sizes = {8, 24, 80};
+  scenario.seedsPerSize = 2;
+  scenario.masterSeed = 17;
+  scenario.backend = SimBackend::kSparse;
+  ExperimentEngine serial({.jobs = 1});
+  ExperimentEngine parallel({.jobs = 8});
+  const ScenarioResult a = runScenario(scenario, serial);
+  const ScenarioResult b = runScenario(scenario, parallel);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i], b.rows[i]) << "row " << i;
+  }
+}
+
+TEST(ScenarioBackendTest, SparseIsRejectedWhereItCannotRun) {
+  ExperimentEngine engine;
+  const struct {
+    const char* dynamics;
+    const char* fragment;
+  } cases[] = {
+      // Adversary-driven dynamics read the dense simulator state.
+      {"rooted-tree", "adversary-driven"},
+      {"restricted", "adversary-driven"},
+      // The deprecated alias must point at the direct spelling.
+      {"nonsplit", "nonsplit-random"},
+      // A graph model without a sparse path must name the capable ones.
+      {"nonsplit-skewed", "sparse-capable"},
+  };
+  for (const auto& c : cases) {
+    ScenarioSpec scenario;
+    scenario.dynamics = c.dynamics;
+    scenario.sizes = {8};
+    scenario.backend = SimBackend::kSparse;
+    try {
+      (void)runScenario(scenario, engine);
+      FAIL() << "expected std::invalid_argument for " << c.dynamics;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.fragment), std::string::npos)
+          << c.dynamics << ": " << e.what();
+    }
+  }
+  // auto is always valid — it resolves to dense where sparse can't run.
+  for (const char* dynamics : {"rooted-tree", "nonsplit-skewed"}) {
+    ScenarioSpec scenario;
+    scenario.dynamics = dynamics;
+    scenario.sizes = {8};
+    scenario.backend = SimBackend::kAuto;
+    const ScenarioResult result = runScenario(scenario, engine);
+    EXPECT_FALSE(result.rows.empty()) << dynamics;
+  }
+}
+
 TEST(GossipCapTest, GossipCapExceedsBroadcastCap) {
   // defaultRoundCap encodes the paper's broadcast bound; gossip runs
   // need more headroom (the ping-pong needs ~2n, and only a stall

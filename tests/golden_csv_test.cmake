@@ -7,6 +7,9 @@
 #   -DSIZES=<--sizes sweep spec, e.g. 4:128:4>
 #   -DDYNAMICS=<optional --dynamics spec, e.g. edge-markovian:p=0.2,q=0.1>
 #   -DSEEDS=<optional --seeds replicate count>
+#   -DBACKEND=<optional --backend selection: dense|sparse|auto — dense
+#             and sparse must reproduce the SAME golden bytes at mirror
+#             sizes, pinning the backends to each other>
 #   -DGOLDEN=<committed CSV>
 #   -DOUT=<scratch output path>
 set(extra_args "")
@@ -15,6 +18,9 @@ if(DYNAMICS)
 endif()
 if(SEEDS)
   list(APPEND extra_args "--seeds=${SEEDS}")
+endif()
+if(BACKEND)
+  list(APPEND extra_args "--backend=${BACKEND}")
 endif()
 execute_process(
   COMMAND ${BENCH} ${SUBCOMMAND} --sizes=${SIZES} --jobs=${JOBS}

@@ -45,12 +45,15 @@ int usage(std::ostream& os) {
         "             [--csv=path] [--adversaries=SPECS] "
         "[--dynamics=SPEC] [--summary]\n"
         "             [--cap=ROUNDS] [--beam-maxn=32] [--beam-width=256]\n"
+        "             [--backend=dense|sparse|auto] (graph-model dynamics "
+        "only)\n"
         "  portfolio  general scenario runner over objective x dynamics x "
         "adversaries\n"
         "             [--objective=broadcast|gossip] [--dynamics=SPEC]\n"
         "             [--sizes=8:64:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
         "             [--cap=ROUNDS] [--csv=path] [--adversaries=SPECS] "
         "[--summary]\n"
+        "             [--backend=dense|sparse|auto]\n"
         "  duel       all listed adversaries fight one instance\n"
         "             [--n=32] [--seed=7] [--adversaries=SPECS] "
         "[--csv=path]\n"
@@ -137,9 +140,12 @@ int runDynamicsSweep(BenchDriver& driver, const std::string& dynamicsText,
   scenario.roundCap = driver.options().getUInt("cap", 0);
   scenario.adversaries =
       splitSpecList(driver.options().getString("adversaries", ""));
+  scenario.backend =
+      parseSimBackend(driver.options().getString("backend", "auto"));
 
   driver.printHeader("SWEEP — dynamics=" +
-                     DynamicsSpec::parse(dynamicsText).toString());
+                     DynamicsSpec::parse(dynamicsText).toString() +
+                     ", backend=" + simBackendName(scenario.backend));
   const ScenarioResult result = runScenario(scenario, driver.engine());
 
   TextTable table(
@@ -216,6 +222,11 @@ int runSweep(int argc, const char* const* argv) {
     scenario.roundCap = driver.options().getUInt("cap", 0);
     scenario.adversaries =
         splitSpecList(driver.options().getString("adversaries", ""));
+    // Rooted trees are adversary-driven, so only dense/auto resolve;
+    // validateScenario rejects an explicit --backend=sparse with the
+    // right error instead of silently ignoring the flag.
+    scenario.backend =
+        parseSimBackend(driver.options().getString("backend", "auto"));
     const ScenarioResult sweep = runScenario(scenario, driver.engine());
 
     // Beam witnesses fan out too: one task per size within the beam cap.
@@ -304,10 +315,13 @@ int runPortfolio(int argc, const char* const* argv) {
     scenario.roundCap = driver.options().getUInt("cap", 0);
     scenario.adversaries =
         splitSpecList(driver.options().getString("adversaries", ""));
+    scenario.backend =
+        parseSimBackend(driver.options().getString("backend", "auto"));
 
     driver.printHeader(
         "SCENARIO — objective=" + objectiveName(scenario.objective) +
-        ", dynamics=" + DynamicsSpec::parse(scenario.dynamics).toString());
+        ", dynamics=" + DynamicsSpec::parse(scenario.dynamics).toString() +
+        ", backend=" + simBackendName(scenario.backend));
     const ScenarioResult result = runScenario(scenario, driver.engine());
 
     TextTable table(
@@ -452,8 +466,9 @@ int runList(int argc, const char* const* argv) {
                               ? "deprecated generator-list alias"
                               : "adversary-driven")
                 << ", class=" << dynamicsClassName(info.graphClass)
-                << (info.stochastic ? ", stochastic" : "") << "]\n      "
-                << info.description << '\n';
+                << (info.stochastic ? ", stochastic" : "")
+                << (info.sparseCapable ? ", sparse-capable" : "")
+                << "]\n      " << info.description << '\n';
       if (!info.literature.empty()) {
         std::cout << "      literature: " << info.literature << '\n';
       }
@@ -472,6 +487,10 @@ int runList(int argc, const char* const* argv) {
                  "  --dynamics=SPEC from the model zoo above\n"
                  "  --adversaries=SPECS (adversary-driven dynamics; graph "
                  "models take none)\n"
+                 "  --backend=dense|sparse|auto (sparse: frontier "
+                 "simulation for sparse-capable\n"
+                 "    graph models above; auto switches past n=4096 — rows "
+                 "are backend-invariant)\n"
                  "  --summary prints per-(n, member) stats over --seeds "
                  "replicates\n";
     return 0;
