@@ -47,6 +47,15 @@ DEFAULT_GATES = {
     "kernel:orAssign:1024:gib_per_s": 60.0,
     "kernel:orCount:1024:gib_per_s": 60.0,
     "kernel:intersectAny:1024:gib_per_s": 60.0,
+    # Search-core counters: deterministic for the fixed seed/size the
+    # harness uses (quick and full run the same search), so the slack only
+    # absorbs deliberate tuning of the move pool or pruning rules.
+    # beam_unique_states regresses UPWARD (a fatter search for the same
+    # witness); beam_rounds and the hit rates regress downward.
+    "sweep:beam_unique_states": 10.0,
+    "sweep:beam_rounds": 10.0,
+    "sweep:transposition_hit_rate": 25.0,
+    "sweep:lookahead_tt_hit_rate": 25.0,
 }
 
 
@@ -60,14 +69,21 @@ def flatten(kernels_doc, sweep_doc):
     for field in ("arena_speedup", "product_blocked_speedup",
                   "portfolio_arena_ms", "portfolio_legacy_ms",
                   "frontier_sparse_speedup", "frontier_dense_ms",
-                  "frontier_sparse_ms"):
+                  "frontier_sparse_ms", "beam_rounds",
+                  "beam_unique_states", "beam_moves_generated",
+                  "beam_eval_dedup_ratio", "transposition_hit_rate",
+                  "beam_arena_peak_nodes", "beam_ms", "lookahead_nodes",
+                  "lookahead_tt_hit_rate"):
         if field in sweep_doc:
             out["sweep:" + field] = sweep_doc[field]
     return out
 
 
 def lower_is_better(key):
-    return key.endswith("ns_per_op") or key.endswith("_ms")
+    # Work counters (states, nodes) and times regress by growing; the
+    # throughput/ratio/round metrics regress by shrinking.
+    return (key.endswith("ns_per_op") or key.endswith("_ms")
+            or key.endswith("unique_states") or key.endswith("_nodes"))
 
 
 def main():

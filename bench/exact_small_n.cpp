@@ -3,12 +3,18 @@
 // the paper's bounds must bracket, and the yardstick for how close our
 // heuristic adversaries come to optimal play.
 //
-// Usage: exact_small_n [--maxn=5] [--heuristics=1]
+// The second table goes past solve()'s practical range with
+// witnessPlay(): a certified line of play reaching the paper's lower
+// bound ⌈(3n−1)/2⌉−2 — complete move pool through n = 8, structured
+// branching pool beyond (n = 9 in seconds).
+//
+// Usage: exact_small_n [--maxn=5] [--heuristics=1] [--witness-maxn=9]
 #include <chrono>
 #include <iostream>
 
 #include "src/adversary/exact_solver.h"
 #include "src/adversary/portfolio.h"
+#include "src/bounds/bounds.h"
 #include "src/bounds/theorem.h"
 #include "src/support/options.h"
 #include "src/support/table.h"
@@ -51,6 +57,29 @@ int main(int argc, char** argv) {
   std::cout << table.render() << '\n';
   std::cout << "reading: exact t* must sit inside [lower, upper]; the "
                "heuristic column shows how much of the true game value the "
-               "portfolio recovers without exhaustive search.\n";
+               "portfolio recovers without exhaustive search.\n\n";
+
+  const std::size_t witnessMaxN = opts.getUInt("witness-maxn", 9);
+  TextTable witnessTable({"n", "target (= lower bound)", "certified rounds",
+                          "pool", "time ms"});
+  for (std::size_t n = 2; n <= witnessMaxN && n <= ExactSolver::kMaxN;
+       ++n) {
+    const std::size_t target = bounds::lowerBound(n);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<RootedTree> play = ExactSolver(n).witnessPlay(target);
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    witnessTable.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(static_cast<std::uint64_t>(target))
+        .add(static_cast<std::uint64_t>(play.size()))
+        .add(n <= 8 ? "complete" : "structured")
+        .add(static_cast<std::uint64_t>(elapsed));
+  }
+  std::cout << witnessTable.render() << '\n';
+  std::cout << "reading: every certified play replays to exactly its "
+               "length, so 'certified rounds' = target means t*(T_n) >= "
+               "the [14] lower bound is witnessed, not just argued.\n";
   return 0;
 }

@@ -27,6 +27,8 @@
 
 #include "bench/driver.h"
 #include "src/adversary/adaptive.h"
+#include "src/adversary/beam.h"
+#include "src/adversary/lookahead.h"
 #include "src/adversary/portfolio.h"
 #include "src/dynamics/registry.h"
 #include "src/graph/bitmatrix.h"
@@ -280,6 +282,34 @@ double timePortfolioSweep(std::size_t n, std::uint64_t seed, bool legacy,
   return ms;
 }
 
+/// Search-core telemetry: one beam witness search at a FIXED size (same
+/// in quick and full mode, so CI's --quick run gates against the same
+/// baseline values) plus one short lookahead run for its transposition
+/// stats. All gated fields are deterministic counters for a fixed seed,
+/// not wall times.
+struct SearchTelemetry {
+  std::size_t beamN = 48;
+  std::size_t beamWidth = 256;
+  BeamResult beam;
+  double beamMs = 0.0;
+  std::uint64_t lookaheadNodes = 0;
+  std::uint64_t lookaheadHits = 0;
+};
+
+SearchTelemetry timeSearchTelemetry(std::uint64_t seed) {
+  SearchTelemetry t;
+  BeamConfig cfg;
+  cfg.beamWidth = t.beamWidth;
+  const auto start = Clock::now();
+  t.beam = beamSearchWitness(t.beamN, seed ^ 0xbea3ull, cfg);
+  t.beamMs = secondsSince(start) * 1e3;
+  LookaheadDelayAdversary lookahead(24, seed ^ 0x10caull, {.depth = 3});
+  (void)runAdversary(24, lookahead, defaultRoundCap(24));
+  t.lookaheadNodes = lookahead.stats().nodesVisited;
+  t.lookaheadHits = lookahead.stats().transpositionHits;
+  return t;
+}
+
 void writeKernelsJson(const std::string& path,
                       const std::vector<KernelResult>& kernels, bool quick,
                       std::size_t jobs) {
@@ -310,7 +340,8 @@ void writeSweepJson(const std::string& path, std::size_t n,
                     std::uint64_t seed, bool quick, double legacyMs,
                     double arenaMs, std::size_t bestRounds,
                     double productSpeedup, std::size_t productN,
-                    const FrontierCrossover& frontier) {
+                    const FrontierCrossover& frontier,
+                    const SearchTelemetry& search) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::cerr << "cannot write " << path << '\n';
@@ -330,6 +361,36 @@ void writeSweepJson(const std::string& path, std::size_t n,
   std::fprintf(f, "  \"frontier_sparse_ms\": %.3f,\n", frontier.sparseMs);
   std::fprintf(f, "  \"frontier_sparse_speedup\": %.4f,\n",
                frontier.denseMs / frontier.sparseMs);
+  const BeamResult& beam = search.beam;
+  std::fprintf(f, "  \"beam_n\": %zu,\n  \"beam_width\": %zu,\n",
+               search.beamN, search.beamWidth);
+  std::fprintf(f, "  \"beam_rounds\": %zu,\n", beam.rounds);
+  std::fprintf(f, "  \"beam_unique_states\": %llu,\n",
+               static_cast<unsigned long long>(beam.uniqueStates));
+  std::fprintf(f, "  \"beam_moves_generated\": %llu,\n",
+               static_cast<unsigned long long>(beam.movesGenerated));
+  std::fprintf(f, "  \"beam_eval_dedup_ratio\": %.4f,\n",
+               beam.uniqueStates != 0
+                   ? static_cast<double>(beam.movesGenerated) /
+                         static_cast<double>(beam.uniqueStates)
+                   : 0.0);
+  std::fprintf(f, "  \"transposition_hit_rate\": %.4f,\n",
+               beam.statesExpanded != 0
+                   ? static_cast<double>(beam.transpositionHits) /
+                         static_cast<double>(beam.statesExpanded)
+                   : 0.0);
+  std::fprintf(f, "  \"beam_hash_collisions\": %llu,\n",
+               static_cast<unsigned long long>(beam.hashCollisions));
+  std::fprintf(f, "  \"beam_arena_peak_nodes\": %zu,\n",
+               beam.arenaPeakNodes);
+  std::fprintf(f, "  \"beam_ms\": %.3f,\n", search.beamMs);
+  std::fprintf(f, "  \"lookahead_nodes\": %llu,\n",
+               static_cast<unsigned long long>(search.lookaheadNodes));
+  std::fprintf(f, "  \"lookahead_tt_hit_rate\": %.4f,\n",
+               search.lookaheadNodes != 0
+                   ? static_cast<double>(search.lookaheadHits) /
+                         static_cast<double>(search.lookaheadNodes)
+                   : 0.0);
   std::fprintf(f, "  \"best_rounds\": %zu\n}\n", bestRounds);
   std::fclose(f);
   std::cout << "wrote " << path << '\n';
@@ -394,6 +455,20 @@ int main(int argc, char** argv) {
       .add(legacyMs / arenaMs, 2)
       .add(static_cast<std::uint64_t>(bestRounds));
 
+  // --- search core: beam witness + lookahead transposition telemetry -
+  const SearchTelemetry search = timeSearchTelemetry(driver.seed());
+  TextTable searchTable({"search", "n", "rounds", "unique", "generated",
+                         "tt hits", "arena peak", "ms"});
+  searchTable.row()
+      .add(std::string("beam:w=") + std::to_string(search.beamWidth))
+      .add(static_cast<std::uint64_t>(search.beamN))
+      .add(static_cast<std::uint64_t>(search.beam.rounds))
+      .add(search.beam.uniqueStates)
+      .add(search.beam.movesGenerated)
+      .add(search.beam.transpositionHits)
+      .add(static_cast<std::uint64_t>(search.beam.arenaPeakNodes))
+      .add(search.beamMs, 1);
+
   // --- dense vs sparse backend crossover (above the mirror threshold) -
   const std::size_t frontierN = quick ? 4608 : 8192;
   const FrontierCrossover frontier =
@@ -412,12 +487,13 @@ int main(int argc, char** argv) {
   // numbers live in BENCH_sweep.json, which is the machine-readable copy.
   driver.emit(kernelTable);
   std::cout << '\n' << sweepTable.render() << '\n';
+  std::cout << '\n' << searchTable.render() << '\n';
   std::cout << '\n' << frontierTable.render() << '\n';
 
   writeKernelsJson(outDir + "/BENCH_kernels.json", kernels, quick,
                    driver.jobs());
   writeSweepJson(outDir + "/BENCH_sweep.json", sweepN, driver.seed(), quick,
                  legacyMs, arenaMs, bestRounds, productSpeedup, productN,
-                 frontier);
+                 frontier, search);
   return 0;
 }

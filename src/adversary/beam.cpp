@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
-#include <unordered_set>
+#include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "src/adversary/adaptive.h"
+#include "src/adversary/search_tree.h"
 #include "src/sim/broadcast_sim.h"
 #include "src/support/assert.h"
+#include "src/support/hashing.h"
 #include "src/tree/families.h"
 #include "src/tree/generators.h"
 
@@ -15,23 +19,25 @@ namespace dynbcast {
 
 namespace {
 
-struct BeamState {
+/// A frontier state: the game position plus its arena node (whose parent
+/// chain is the lineage that reached it). The moves themselves live in
+/// the arena, not here.
+struct FrontierState {
   std::vector<DynBitset> heard;
   std::vector<std::size_t> coverage;
   double potential = 0.0;
-  /// Lineage: index of the parent state in the previous level plus the
-  /// move that produced this state.
-  std::size_t parentIndex = 0;
-  RootedTree move = RootedTree::trivial();
+  std::uint32_t nodeId = SearchTreeArena::kNoNode;
 };
 
-std::uint64_t hashHeard(const std::vector<DynBitset>& heard) {
-  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ heard.size();
-  for (const DynBitset& row : heard) {
-    h ^= row.hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  }
-  return h;
-}
+/// A successor candidate awaiting pruning; committed to the arena only
+/// if it survives (pruned candidates never allocate a node).
+struct Candidate {
+  std::vector<DynBitset> heard;
+  std::vector<std::size_t> coverage;
+  double potential = 0.0;
+  std::uint32_t parentId = SearchTreeArena::kNoNode;
+  RootedTree move = RootedTree::trivial();
+};
 
 double potentialOfCoverage(const std::vector<std::size_t>& cov) {
   double p = 0.0;
@@ -58,7 +64,7 @@ std::vector<std::size_t> topLeaders(const std::vector<std::size_t>& coverage,
   return ids;
 }
 
-std::vector<RootedTree> movesFor(const BeamState& state, Rng& rng,
+std::vector<RootedTree> movesFor(const FrontierState& state, Rng& rng,
                                  const BeamConfig& config) {
   const std::size_t n = state.heard.size();
   std::vector<RootedTree> moves;
@@ -100,26 +106,55 @@ std::vector<RootedTree> movesFor(const BeamState& state, Rng& rng,
   return moves;
 }
 
+/// True when `moves[0..index)` already contains moves[index] — the same
+/// parent array reached again through a different generator. Duplicate
+/// moves from one state produce byte-identical successors, so skipping
+/// them before evaluation changes nothing downstream.
+bool isDuplicateMove(const std::vector<RootedTree>& moves,
+                     std::size_t index) {
+  for (std::size_t i = 0; i < index; ++i) {
+    if (moves[i] == moves[index]) return true;
+  }
+  return false;
+}
+
 }  // namespace
+
+void validateBeamConfig(const BeamConfig& config) {
+  if (config.beamWidth < 1) {
+    throw std::invalid_argument("beam config: width must be >= 1 (got " +
+                                std::to_string(config.beamWidth) + ")");
+  }
+  if (config.diversityPercent > 100) {
+    throw std::invalid_argument(
+        "beam config: diversity must be <= 100 percent (got " +
+        std::to_string(config.diversityPercent) + ")");
+  }
+}
 
 BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
                              BeamConfig config) {
   DYNBCAST_ASSERT(n >= 2);
+  validateBeamConfig(config);
   Rng rng(seed);
   const std::size_t cap =
       config.maxRounds != 0 ? config.maxRounds : n * n;
 
+  // The explored tree: frontier states hold one arena reference each;
+  // pruned branches are reclaimed as soon as their last leaf dies.
+  SearchTreeArena arena(config.beamWidth * 8 + 64);
+  TranspositionTable table(config.beamWidth * 16);
+
   // Level 0: the identity state.
-  BeamState initial;
+  FrontierState initial;
   initial.heard.assign(n, DynBitset(n));
   for (std::size_t y = 0; y < n; ++y) initial.heard[y].set(y);
   initial.coverage.assign(n, 1);
   initial.potential = potentialOfCoverage(initial.coverage);
+  initial.nodeId = arena.acquireRoot();
 
-  // History of levels for lineage reconstruction: per level, the list of
-  // surviving states (with parentIndex into the previous level).
-  std::vector<std::vector<BeamState>> levels;
-  levels.push_back({std::move(initial)});
+  std::vector<FrontierState> frontier;
+  frontier.push_back(std::move(initial));
 
   BeamResult result;
   // One scratch arena serves every candidate evaluation in the search:
@@ -128,28 +163,45 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
   // instead of re-applying the tree to a fresh matrix.
   EvalScratch scratch;
   // The final move of any lineage completes broadcast, so the achieved
-  // rounds = (levels survived) + 1. Track the last level with survivors.
-  while (levels.back().size() > 0 && levels.size() <= cap) {
-    const std::vector<BeamState>& current = levels.back();
-    std::vector<BeamState> successors;
-    std::unordered_set<std::uint64_t> seen;
-    for (std::size_t si = 0; si < current.size(); ++si) {
-      const BeamState& state = current[si];
-      for (RootedTree& move : movesFor(state, rng, config)) {
+  // rounds = (levels survived) + 1; expanding only while survived + 1 <
+  // cap keeps the reported rounds within the documented maxRounds cap.
+  std::size_t survived = 0;
+  while (survived + 1 < cap) {
+    std::vector<Candidate> successors;
+    table.clear();
+    for (FrontierState& state : frontier) {
+      std::vector<RootedTree> moves = movesFor(state, rng, config);
+      for (std::size_t mi = 0; mi < moves.size(); ++mi) {
+        ++result.movesGenerated;
+        if (isDuplicateMove(moves, mi)) continue;
         ++result.statesExpanded;
         const DelayScore score =
-            evaluateCandidate(state.heard, state.coverage, move, scratch);
+            evaluateCandidate(state.heard, state.coverage, moves[mi],
+                              scratch);
         if (score.finishes) continue;  // dead lineage beyond this move
-        if (!seen.insert(hashHeard(scratch.heard)).second) continue;
-        BeamState next;
+        // Collision-safe dedup: a digest hit is only merged after the
+        // full heard matrices compare equal (first-seen state wins).
+        const std::uint64_t digest = hashHeardMatrix(scratch.heard);
+        const TranspositionTable::InsertResult ins = table.insertOrFind(
+            digest, static_cast<std::uint32_t>(successors.size()),
+            [&](std::uint32_t payload) {
+              return successors[payload].heard == scratch.heard;
+            });
+        if (!ins.inserted) {
+          ++result.transpositionHits;
+          continue;
+        }
+        Candidate next;
         next.heard = scratch.heard;
         next.coverage = scratch.coverage;
         next.potential = score.potential;
-        next.parentIndex = si;
-        next.move = std::move(move);
+        next.parentId = state.nodeId;
+        next.move = std::move(moves[mi]);
         successors.push_back(std::move(next));
       }
     }
+    result.uniqueStates += successors.size();
+    result.hashCollisions = table.hashCollisions();
     if (successors.empty()) break;  // every move finishes: game over
     // Prune: elite slots by ascending potential, the rest random.
     if (successors.size() > config.beamWidth) {
@@ -160,7 +212,7 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
                         successors.begin() +
                             static_cast<std::ptrdiff_t>(elite),
                         successors.end(),
-                        [](const BeamState& a, const BeamState& b) {
+                        [](const Candidate& a, const Candidate& b) {
                           return a.potential < b.potential;
                         });
       // Shuffle the tail and keep the first (beamWidth − elite) of it.
@@ -171,32 +223,37 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
       }
       successors.resize(config.beamWidth);
     }
-    levels.push_back(std::move(successors));
+    // Commit survivors to the arena, then drop the old frontier's
+    // references; branches with no surviving descendant are reclaimed.
+    std::vector<FrontierState> next;
+    next.reserve(successors.size());
+    for (Candidate& c : successors) {
+      FrontierState s;
+      s.heard = std::move(c.heard);
+      s.coverage = std::move(c.coverage);
+      s.potential = c.potential;
+      s.nodeId = arena.acquireChild(c.parentId, std::move(c.move));
+      next.push_back(std::move(s));
+    }
+    for (const FrontierState& old : frontier) arena.release(old.nodeId);
+    frontier = std::move(next);
+    ++survived;
   }
 
-  // Longest lineage: all states in the last non-empty level survived
-  // levels.size()−1 rounds; one more (forced) round finishes the game.
-  const std::size_t survivedLevels = levels.size() - 1;
-  result.rounds = survivedLevels + 1;
+  result.rounds = survived + 1;
+  result.arenaPeakNodes = arena.peakLiveNodes();
 
-  // Reconstruct the witness from any state in the deepest level (they
-  // all achieve the same length); finish with a star from a process
-  // whose heard set is full-enough (any star works: it completes within
-  // at most a few rounds — we instead pick a finishing move explicitly).
-  std::vector<RootedTree> witness(survivedLevels + 1,
-                                  RootedTree::trivial());
-  std::size_t idx = 0;
-  for (std::size_t level = survivedLevels; level >= 1; --level) {
-    const BeamState& state = levels[level][idx];
-    witness[level - 1] = state.move;
-    idx = state.parentIndex;
-  }
+  // Reconstruct the witness from the frontier's first state (all states
+  // in the final frontier achieve the same length) by walking arena
+  // parents, then append one finishing move.
+  std::vector<RootedTree> witness = arena.lineage(frontier.front().nodeId);
+  DYNBCAST_ASSERT(witness.size() == survived);
   // Final finishing move: from the deepest state, any move ends the game
   // within a few rounds; find one that finishes immediately (a star from
   // the process with the largest heard set always does after one round
   // if its heard set is full; otherwise search the structured moves).
   {
-    const BeamState& last = levels[survivedLevels][0];
+    const FrontierState& last = frontier.front();
     bool placed = false;
     Rng finisher(seed ^ 0xfeedull);
     for (int attempt = 0; attempt < 512 && !placed; ++attempt) {
@@ -205,16 +262,17 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
       const DelayScore s =
           evaluateCandidate(last.heard, last.coverage, move, scratch);
       if (s.finishes) {
-        witness[survivedLevels] = std::move(move);
+        witness.push_back(std::move(move));
         placed = true;
       }
     }
     if (!placed) {
       // Theoretically impossible to need more, but stay safe: replay will
       // then report a shorter/longer round count and the caller notices.
-      witness[survivedLevels] = makeStar(n, 0);
+      witness.push_back(makeStar(n, 0));
     }
   }
+  for (const FrontierState& state : frontier) arena.release(state.nodeId);
   result.witness = std::move(witness);
   return result;
 }

@@ -10,6 +10,13 @@
 // structured + randomized move pool, prunes to the best/most diverse B
 // states, and reports the longest surviving lineage as a replayable
 // tree sequence.
+//
+// The explored tree lives in a SearchTreeArena: the frontier keeps only
+// arena node ids, lineage reconstruction walks parent links, and pruned
+// branches are refcount-reclaimed — the search no longer retains the
+// full per-level history. Per-level state dedup goes through a
+// collision-safe TranspositionTable (full heard-matrix verification on
+// every digest hit), so distinct states are never merged.
 #pragma once
 
 #include <cstdint>
@@ -31,24 +38,49 @@ struct BeamConfig {
   /// plain random trees are far weaker moves.
   double noiseAmplitude = 8.0;
   /// Fraction of beam slots reserved for random (non-elite) survivors,
-  /// in percent. Pure elitism collapses the beam into one corridor.
+  /// in percent (must be <= 100). Pure elitism collapses the beam into
+  /// one corridor.
   std::size_t diversityPercent = 25;
-  /// Safety cap on levels; 0 = the trivial bound n².
+  /// Safety cap on achieved rounds; 0 = the trivial bound n².
   std::size_t maxRounds = 0;
 };
+
+/// Throws std::invalid_argument unless the config is usable: beamWidth
+/// must be >= 1 (an empty beam has no lineage to report) and
+/// diversityPercent <= 100 (larger values used to underflow the elite
+/// slot count). Called eagerly by beamSearchWitness and the registry.
+void validateBeamConfig(const BeamConfig& config);
 
 struct BeamResult {
   /// Longest achieved broadcast time (rounds until the final, forced
   /// completion round — the witness sequence has exactly this length).
+  /// Never exceeds BeamConfig::maxRounds when that cap is set.
   std::size_t rounds = 0;
   /// The witness: replaying these trees from the identity state keeps
   /// broadcast incomplete until exactly the last round.
   std::vector<RootedTree> witness;
-  /// Total states expanded (search effort).
+  /// Candidate evaluations actually performed (search effort after
+  /// duplicate-move elimination).
   std::uint64_t statesExpanded = 0;
+  /// Candidate moves generated before duplicate-move elimination — the
+  /// quantity statesExpanded used to count.
+  std::uint64_t movesGenerated = 0;
+  /// Distinct surviving successor states admitted across all levels
+  /// (transposition-table insertions).
+  std::uint64_t uniqueStates = 0;
+  /// Verified same-state merges: a digest hit whose full heard-matrix
+  /// comparison confirmed an identical state.
+  std::uint64_t transpositionHits = 0;
+  /// Digest hits whose heard matrices differed — the states the old raw
+  /// hash dedup would have silently (and wrongly) merged.
+  std::uint64_t hashCollisions = 0;
+  /// High-water mark of live arena nodes (retained-history footprint).
+  std::size_t arenaPeakNodes = 0;
 };
 
 /// Runs the search. Deterministic for a fixed (n, seed, config).
+/// Throws std::invalid_argument on an invalid config (see
+/// validateBeamConfig).
 [[nodiscard]] BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
                                            BeamConfig config = {});
 

@@ -1,4 +1,4 @@
-// ExactSolver: the exact broadcast game value t*(T_n) for small n.
+// ExactSolver: exact and certified-witness play for the broadcast game.
 //
 // Definition 2.3 makes t*(T_n) the value of a one-player game: the
 // adversary repeatedly picks any rooted tree on [n] to maximize the
@@ -8,11 +8,25 @@
 // monotonicity) state graph — computable exactly by memoized DFS over
 // all n^(n−1) moves per state.
 //
-// The heard-of matrix of an n ≤ 8 game packs into one uint64_t (row y in
-// byte y), and states are canonicalized under simultaneous node
-// relabeling (row and bit permutation), which shrinks the memo by
-// roughly n!. Practical through n = 5 (625 moves/state) and, with
-// patience, n = 6 (7776 moves/state).
+// States are stored as row arrays of 16-bit masks (row y = Heard(y)),
+// which carries the solver to n ≤ 16; the historical packed-uint64
+// encoding (row y in byte y, n ≤ 8) survives as static helpers. The
+// memo canonicalizes states under simultaneous node relabeling with an
+// orbit-pruned permutation scan: nodes are partitioned by refined
+// degree-style invariants and only permutations respecting the
+// partition are tried — typically a handful instead of n!.
+//
+// Two query modes:
+//   solve()/optimalPlay() — the exhaustive game value. Feasible while
+//   the full move pool n^(n−1) is enumerable (n ≤ 8 structurally;
+//   practical through n = 5).
+//   witnessPlay(target) — a certified lower-bound line of play: a
+//   depth-first search for `target` rounds of survival, pruned by a
+//   canonical-form failure memo. For n ≤ 8 the search branches over the
+//   complete move pool; beyond that over a structured pool (damage
+//   trees, freezes, heard-order paths, noisy damage trees). The
+//   returned sequence replays to exactly its length — reaching the
+//   ⌈(3n−1)/2⌉−2 bound of [14] through n = 9 in seconds.
 //
 // This module validates everything else at small scale: the simulators,
 // the bound formulas of Theorem 3.1, and how close the heuristic
@@ -32,6 +46,11 @@ struct ExactOptions {
   /// Hard cap on recursion depth as a safety net; 0 = n² (the trivial
   /// bound: at least one new edge appears per round).
   std::size_t depthCap = 0;
+  /// Drop successors that are row-wise supersets of another successor.
+  /// The game value is antitone under row-wise inclusion (a state that
+  /// has heard strictly more is closer to broadcast), so only the
+  /// ⊆-minimal successors can carry the max.
+  bool pruneDominated = true;
 };
 
 struct ExactResult {
@@ -41,25 +60,54 @@ struct ExactResult {
   std::uint64_t statesMemoized = 0;
   /// Total successor states evaluated (after per-state deduplication).
   std::uint64_t successorsExpanded = 0;
+  /// Successors dropped by the row-wise dominance filter.
+  std::uint64_t dominatedPruned = 0;
+};
+
+struct ExactWitnessOptions {
+  /// Search-node budget; the search gives up (returning the best play
+  /// found at smaller targets) once exhausted.
+  std::uint64_t nodeBudget = 2'000'000;
+  /// Noisy damage trees per node in the structured pool (n > 8 only).
+  std::size_t noisyMovesPerNode = 2;
+  /// Children explored per node, best-potential first. Bounds memory on
+  /// the exhaustive pool, where one state can have millions of distinct
+  /// successors.
+  std::size_t maxChildrenPerNode = 4096;
 };
 
 class ExactSolver {
  public:
-  /// Precondition: 2 ≤ n ≤ 8 (the uint64 packing limit). Memory and time
-  /// grow steeply; n ≤ 5 runs in well under a second.
+  /// Row-array encoding limit: 16 rows of 16-bit masks.
+  static constexpr std::size_t kMaxN = 16;
+
+  /// Precondition: 2 ≤ n ≤ kMaxN. The exhaustive queries additionally
+  /// require the full move pool to be enumerable (n ≤ 8).
   explicit ExactSolver(std::size_t n, ExactOptions options = {});
 
-  /// Computes t*(T_n).
+  /// Computes t*(T_n). Requires n ≤ 8 (throws AssertionError beyond);
+  /// memory and time grow steeply — n ≤ 5 runs in well under a second.
   [[nodiscard]] ExactResult solve();
 
   /// Computes t*(T_n) and extracts one optimal line of play: a concrete
   /// tree sequence achieving the game value from the identity state.
   /// The sequence is itself a machine-checkable lower-bound certificate
-  /// (replay it on a simulator and count rounds).
+  /// (replay it on a simulator and count rounds). Requires n ≤ 8.
   [[nodiscard]] std::vector<RootedTree> optimalPlay();
 
-  /// Packs a heard-of matrix (row y = Heard(y)) into the solver encoding;
-  /// exposed for tests.
+  /// Searches for a play achieving `targetRounds` and returns the
+  /// longest certified play found (its length may fall short of the
+  /// target when the search space or node budget is exhausted; it never
+  /// exceeds the target). The returned sequence replays from the
+  /// identity state to broadcast in exactly its length — verified
+  /// internally before returning. Unlike solve(), works for all
+  /// 2 ≤ n ≤ kMaxN: the branching pool is complete for n ≤ 8 and
+  /// structured beyond.
+  [[nodiscard]] std::vector<RootedTree> witnessPlay(
+      std::size_t targetRounds, ExactWitnessOptions witnessOptions = {});
+
+  /// Packs a heard-of matrix (row y = Heard(y)) into the historical
+  /// uint64 encoding (n ≤ 8, row y in byte y); exposed for tests.
   [[nodiscard]] static std::uint64_t encodeIdentity(std::size_t n);
 
   /// Applies a tree (as a parent array) to an encoded state.

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <utility>
 
+#include "src/adversary/search_tree.h"
 #include "src/support/assert.h"
+#include "src/support/hashing.h"
 #include "src/tree/families.h"
 #include "src/tree/generators.h"
 
@@ -77,6 +80,19 @@ bool betterForAdversary(const Eval& a, const Eval& b) {
   return a.potential < b.potential;
 }
 
+/// Per-call transposition cache: (heard matrix, remaining depth) → Eval.
+/// The table stores indices into `entries`, whose stored matrices back
+/// the full-equality verification on every digest hit.
+struct TtCache {
+  struct Entry {
+    std::vector<DynBitset> heard;
+    std::size_t depth = 0;
+    Eval eval;
+  };
+  TranspositionTable table{128};
+  std::vector<Entry> entries;
+};
+
 /// One EvalScratch per recursion level: level d's post-move state must
 /// stay alive as the heard/coverage input of level d+1 while that level
 /// evaluates its own candidates into the next slot.
@@ -85,7 +101,24 @@ Eval search(const std::vector<DynBitset>& heard,
             const std::vector<std::size_t>& baseOrder, Rng& rng,
             const LookaheadConfig& config, std::size_t depth,
             RootedTree* chosenOut, std::vector<EvalScratch>& arena,
-            std::size_t level) {
+            std::size_t level, TtCache* cache, LookaheadStats& stats) {
+  ++stats.nodesVisited;
+  // Interior nodes only: the root must still report its chosen move, and
+  // it is the first node of a per-call table anyway.
+  const bool cacheable = cache != nullptr && chosenOut == nullptr;
+  std::uint64_t digest = 0;
+  if (cacheable) {
+    digest = hashCombine(hashHeardMatrix(heard), depth);
+    const std::uint32_t found = cache->table.find(
+        digest, [&](std::uint32_t payload) {
+          const TtCache::Entry& e = cache->entries[payload];
+          return e.depth == depth && e.heard == heard;
+        });
+    if (found != TranspositionTable::kNoPayload) {
+      ++stats.transpositionHits;
+      return cache->entries[found].eval;
+    }
+  }
   const BroadcastSim sim =
       BroadcastSim::fromHeard(std::vector<DynBitset>(heard));
   const std::vector<RootedTree> candidates =
@@ -106,13 +139,24 @@ Eval search(const std::vector<DynBitset>& heard,
       // recursive call reads them while using arena[level + 1].
       const Eval sub =
           search(scratch.heard, scratch.coverage, baseOrder, rng, config,
-                 depth - 1, nullptr, arena, level + 1);
+                 depth - 1, nullptr, arena, level + 1, cache, stats);
       eval.survived = 1 + sub.survived;
       eval.potential = sub.potential;
     }
     if (betterForAdversary(eval, best)) {
       best = eval;
       bestTree = &candidate;
+    }
+  }
+  if (cacheable) {
+    const auto payload = static_cast<std::uint32_t>(cache->entries.size());
+    const TranspositionTable::InsertResult ins = cache->table.insertOrFind(
+        digest, payload, [&](std::uint32_t existing) {
+          const TtCache::Entry& e = cache->entries[existing];
+          return e.depth == depth && e.heard == heard;
+        });
+    if (ins.inserted) {
+      cache->entries.push_back(TtCache::Entry{heard, depth, best});
     }
   }
   if (chosenOut != nullptr) *chosenOut = *bestTree;
@@ -133,6 +177,7 @@ LookaheadDelayAdversary::LookaheadDelayAdversary(std::size_t n,
 void LookaheadDelayAdversary::reset() {
   rng_ = Rng(seed_);
   std::iota(order_.begin(), order_.end(), std::size_t{0});
+  stats_ = LookaheadStats{};
 }
 
 RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
@@ -140,8 +185,10 @@ RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
   const std::vector<std::size_t> coverage = coverageCounts(state);
   RootedTree chosen = makePath(order_);
   arena_.resize(config_.depth);
+  TtCache cache;
+  TtCache* cachePtr = config_.transposition ? &cache : nullptr;
   (void)search(state.heardMatrix(), coverage, order_, rng_, config_,
-               config_.depth, &chosen, arena_, 0);
+               config_.depth, &chosen, arena_, 0, cachePtr, stats_);
   // Carry path stability when the chosen move is a path.
   if (chosen.leafCount() == 1) {
     order_ = chosen.bfsOrder();

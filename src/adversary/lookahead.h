@@ -9,6 +9,12 @@
 // path, heard-order paths) to depth d, maximize rounds-until-broadcast
 // within the horizon, and break ties by the convex coverage potential of
 // the horizon state.
+//
+// Different move orders frequently transpose into the same heard matrix
+// (freeze variants differing only below the frozen prefix, damage trees
+// sharing a root). A per-call transposition table — collision-safe: a
+// digest hit is merged only after the full heard matrices compare equal
+// — evaluates each (state, remaining-depth) node once per nextTree call.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +34,17 @@ struct LookaheadConfig {
   std::size_t randomMoves = 1;
   /// Damage-greedy tree roots tried per node.
   std::size_t damageRoots = 2;
+  /// Reuse evaluations of transposed (state, remaining-depth) nodes
+  /// within one nextTree call. Off restores the exhaustive re-search.
+  bool transposition = true;
+};
+
+/// Cumulative search effort across nextTree calls (reset() clears).
+struct LookaheadStats {
+  /// Interior search nodes visited (cache hits included).
+  std::uint64_t nodesVisited = 0;
+  /// Nodes answered from the per-call transposition table.
+  std::uint64_t transpositionHits = 0;
 };
 
 class LookaheadDelayAdversary final : public Adversary {
@@ -39,6 +56,10 @@ class LookaheadDelayAdversary final : public Adversary {
   [[nodiscard]] std::string name() const override;
   void reset() override;
 
+  [[nodiscard]] const LookaheadStats& stats() const noexcept {
+    return stats_;
+  }
+
  private:
   std::size_t n_;
   std::uint64_t seed_;
@@ -47,6 +68,7 @@ class LookaheadDelayAdversary final : public Adversary {
   std::vector<std::size_t> order_;
   /// One scratch per search depth, reused across rounds (see search()).
   std::vector<EvalScratch> arena_;
+  LookaheadStats stats_;
 };
 
 }  // namespace dynbcast

@@ -235,7 +235,9 @@ void registerBuiltins(AdversaryRegistry& reg) {
            "depth-limited search over a structured candidate pool",
            {{"depth", "3", "search depth in rounds (1 = plain greedy)"},
             {"rand", "1", "random candidates per search node"},
-            {"damage-roots", "2", "damage-greedy roots per search node"}},
+            {"damage-roots", "2", "damage-greedy roots per search node"},
+            {"tt", "1", "transposition table over (state, depth) nodes "
+                        "(0 = exhaustive re-search)"}},
            [](std::size_t n, std::uint64_t seed,
               const AdversaryParams& params) {
              LookaheadConfig config;
@@ -247,6 +249,7 @@ void registerBuiltins(AdversaryRegistry& reg) {
              config.randomMoves = params.getUInt("rand", config.randomMoves);
              config.damageRoots =
                  params.getUInt("damage-roots", config.damageRoots);
+             config.transposition = params.getUInt("tt", 1) != 0;
              return std::make_unique<LookaheadDelayAdversary>(
                  n, seed ^ 0x10caull, config);
            }});
@@ -258,8 +261,10 @@ void registerBuiltins(AdversaryRegistry& reg) {
            {{"width", "128", "beam width"},
             {"rand-moves", "4", "random moves per expanded state"},
             {"noise", "8.0", "damage-tree weight noise amplitude"},
-            {"diversity", "25", "percent of beam slots kept non-elite"},
-            {"max-rounds", "0", "level cap; 0 = the trivial n^2 bound"}},
+            {"diversity", "25", "percent of beam slots kept non-elite "
+                                "(0 <= diversity <= 100)"},
+            {"max-rounds", "0", "cap on achieved rounds; 0 = the trivial "
+                                "n^2 bound"}},
            [](std::size_t n, std::uint64_t seed,
               const AdversaryParams& params) {
              BeamConfig config;
@@ -274,6 +279,11 @@ void registerBuiltins(AdversaryRegistry& reg) {
                  params.getDouble("noise", config.noiseAmplitude);
              config.diversityPercent =
                  params.getUInt("diversity", config.diversityPercent);
+             if (config.diversityPercent > 100) {
+               throw std::invalid_argument(
+                   "adversary 'beam': diversity must be <= 100 percent "
+                   "(got " + std::to_string(config.diversityPercent) + ")");
+             }
              config.maxRounds =
                  params.getUInt("max-rounds", config.maxRounds);
              return std::make_unique<BeamWitnessAdversary>(

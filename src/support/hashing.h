@@ -1,0 +1,43 @@
+// Shared hashing utilities for the search layers.
+//
+// The search adversaries key transposition tables by the heard-of
+// matrix. A 64-bit digest is only a probe address — two distinct states
+// can share one (the birthday bound at beam widths is small but not
+// zero), so every consumer must verify full equality before merging.
+// Centralizing the mixers here keeps beam, lookahead, and the exact
+// solver on one digest definition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/support/bitset.h"
+
+namespace dynbcast {
+
+/// splitmix64 finalizer: a strong 64 → 64 bit mixer.
+[[nodiscard]] inline std::uint64_t hashMix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Boost-style combine: folds `value` into a running digest.
+[[nodiscard]] inline std::uint64_t hashCombine(std::uint64_t seed,
+                                               std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Digest of a heard-of matrix (row y = Heard(y)). Same formula the beam
+/// historically used, now shared by every transposition consumer.
+[[nodiscard]] inline std::uint64_t hashHeardMatrix(
+    const std::vector<DynBitset>& heard) noexcept {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull ^ heard.size();
+  for (const DynBitset& row : heard) {
+    h = hashCombine(h, row.hash());
+  }
+  return h;
+}
+
+}  // namespace dynbcast

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "src/adversary/exact_solver.h"
 #include "src/adversary/lookahead.h"
 #include "src/bounds/bounds.h"
@@ -70,6 +72,69 @@ TEST(BeamWitnessTest, WitnessTreesAreWellFormed) {
   }
 }
 
+TEST(BeamWitnessTest, RejectsZeroWidth) {
+  // width = 0 used to read frontier.front() of an empty frontier.
+  BeamConfig cfg = testConfig();
+  cfg.beamWidth = 0;
+  EXPECT_THROW((void)beamSearchWitness(8, 1, cfg), std::invalid_argument);
+  EXPECT_THROW(validateBeamConfig(cfg), std::invalid_argument);
+}
+
+TEST(BeamWitnessTest, RejectsDiversityAboveHundredPercent) {
+  // diversity > 100 used to underflow the size_t elite slot count.
+  BeamConfig cfg = testConfig();
+  cfg.diversityPercent = 101;
+  EXPECT_THROW((void)beamSearchWitness(8, 1, cfg), std::invalid_argument);
+  EXPECT_THROW(validateBeamConfig(cfg), std::invalid_argument);
+}
+
+TEST(BeamWitnessTest, TinyMaxRoundsIsARealCap) {
+  // Regression: the old loop guard (levels <= cap) admitted one level too
+  // many, so reported rounds exceeded maxRounds by one.
+  for (const std::size_t cap : {1u, 2u, 3u, 5u}) {
+    BeamConfig cfg = testConfig();
+    cfg.maxRounds = cap;
+    const BeamResult r = beamSearchWitness(12, 3, cfg);
+    EXPECT_LE(r.rounds, cap) << "cap=" << cap;
+    EXPECT_EQ(verifyWitness(12, r.witness), r.rounds) << "cap=" << cap;
+  }
+}
+
+TEST(BeamWitnessTest, SearchTelemetryIsConsistent) {
+  const BeamResult r = beamSearchWitness(12, 7, testConfig());
+  EXPECT_GT(r.movesGenerated, 0u);
+  EXPECT_GE(r.movesGenerated, r.statesExpanded);  // dedup only removes
+  EXPECT_GT(r.uniqueStates, 0u);
+  // Every evaluated candidate either finished, merged with an identical
+  // state, or was admitted as a unique state.
+  EXPECT_LE(r.uniqueStates + r.transpositionHits, r.statesExpanded);
+  EXPECT_GT(r.arenaPeakNodes, 0u);
+  // The retained history is the ancestor closure of the frontier, far
+  // below the full per-level history (rounds × width states).
+  EXPECT_LT(r.arenaPeakNodes, r.rounds * testConfig().beamWidth);
+}
+
+TEST(BeamWitnessTest, WitnessValidAcrossConfigSpace) {
+  // Property sweep over the config axes the registry exposes: whatever
+  // the knobs, the reported rounds must equal the witness replay.
+  for (const std::size_t width : {1u, 8u, 64u}) {
+    for (const std::size_t diversity : {0u, 50u, 100u}) {
+      for (const bool structured : {true, false}) {
+        BeamConfig cfg;
+        cfg.beamWidth = width;
+        cfg.diversityPercent = diversity;
+        cfg.structuredMoves = structured;
+        cfg.randomMovesPerState = 3;
+        const BeamResult r = beamSearchWitness(8, 13, cfg);
+        EXPECT_EQ(verifyWitness(8, r.witness), r.rounds)
+            << "width=" << width << " diversity=" << diversity
+            << " structured=" << structured;
+        EXPECT_EQ(r.witness.size(), r.rounds);
+      }
+    }
+  }
+}
+
 TEST(LookaheadTest, CompletesWithinTheoremAndAtLeastNearStatic) {
   for (const std::size_t n : {6u, 10u, 16u}) {
     LookaheadDelayAdversary adv(n, 3, {.depth = 2});
@@ -85,6 +150,29 @@ TEST(LookaheadTest, DeterministicPerSeed) {
   const BroadcastRun a = runAdversary(8, adv, defaultRoundCap(8));
   const BroadcastRun b = runAdversary(8, adv, defaultRoundCap(8));
   EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(LookaheadTest, TranspositionStatsAndToggle) {
+  // Freeze variants transpose heavily, so a depth-3 search must score
+  // table hits; with the table off the stats stay clean and the search
+  // still lands inside the theorem bracket. (Skipping a cached subtree
+  // also skips its rng draws, so the two runs may legitimately pick
+  // different moves — only bounds are comparable across the toggle.)
+  LookaheadConfig with;
+  with.depth = 3;
+  LookaheadConfig without = with;
+  without.transposition = false;
+  LookaheadDelayAdversary a(10, 17, with);
+  LookaheadDelayAdversary b(10, 17, without);
+  const BroadcastRun ra = runAdversary(10, a, defaultRoundCap(10));
+  const BroadcastRun rb = runAdversary(10, b, defaultRoundCap(10));
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(rb.completed);
+  EXPECT_LE(ra.rounds, bounds::linearUpper(10));
+  EXPECT_LE(rb.rounds, bounds::linearUpper(10));
+  EXPECT_GT(a.stats().nodesVisited, 0u);
+  EXPECT_GT(a.stats().transpositionHits, 0u);
+  EXPECT_EQ(b.stats().transpositionHits, 0u);
 }
 
 }  // namespace

@@ -47,7 +47,15 @@ TEST(EncodingTest, SingleStarRoundIsBroadcast) {
 
 TEST(ExactSolverTest, RejectsOutOfRangeN) {
   EXPECT_THROW(ExactSolver(1), AssertionError);
-  EXPECT_THROW(ExactSolver(9), AssertionError);
+  EXPECT_THROW(ExactSolver(17), AssertionError);
+}
+
+TEST(ExactSolverTest, ExhaustiveQueriesRejectInfeasiblePool) {
+  // n = 9 is constructible (row-array encoding), but the exhaustive
+  // queries need the full 9^8 = 43M move pool — only witnessPlay works.
+  ExactSolver solver(9);
+  EXPECT_THROW((void)solver.solve(), AssertionError);
+  EXPECT_THROW((void)solver.optimalPlay(), AssertionError);
 }
 
 TEST(ExactSolverTest, N2IsOneRound) {
@@ -110,6 +118,73 @@ TEST(OptimalPlayTest, AllMovesAreValidTrees) {
     EXPECT_EQ(t.size(), 4u);
     EXPECT_TRUE(isRootedTreeWithSelfLoops(t.toMatrix()));
   }
+}
+
+TEST(WitnessPlayTest, MatchesExactValueWhereSolveIsFeasible) {
+  // For n ≤ 5 the exact value is known (= the paper's lower bound): the
+  // witness search must find a play of exactly that length, and the
+  // play must replay to its own length.
+  for (const std::size_t n : {2u, 3u, 4u, 5u}) {
+    ExactSolver solver(n);
+    const std::vector<RootedTree> play =
+        solver.witnessPlay(bounds::lowerBound(n));
+    EXPECT_EQ(play.size(), bounds::lowerBound(n)) << "n=" << n;
+    BroadcastSim sim(n);
+    for (std::size_t r = 0; r < play.size(); ++r) {
+      EXPECT_FALSE(sim.broadcastDone()) << "n=" << n << " round=" << r;
+      sim.applyTree(play[r]);
+    }
+    EXPECT_TRUE(sim.broadcastDone()) << "n=" << n;
+  }
+}
+
+TEST(WitnessPlayTest, CertifiesLowerBoundThroughN7) {
+  // Beyond solve()'s practical range: a certified line of play reaching
+  // ⌈(3n−1)/2⌉−2 rounds (the [14] lower bound) via the complete pool.
+  for (const std::size_t n : {6u, 7u}) {
+    const std::vector<RootedTree> play =
+        ExactSolver(n).witnessPlay(bounds::lowerBound(n));
+    EXPECT_EQ(play.size(), bounds::lowerBound(n)) << "n=" << n;
+  }
+}
+
+TEST(WitnessPlayTest, CertifiesLowerBoundAtN8) {
+  const std::vector<RootedTree> play =
+      ExactSolver(8).witnessPlay(bounds::lowerBound(8));
+  EXPECT_EQ(play.size(), bounds::lowerBound(8));  // = 10
+}
+
+TEST(WitnessPlayTest, CertifiesLowerBoundAtN9) {
+  // Past the packed-uint64 / exhaustive-pool ceiling: the structured
+  // branching pool certifies t*(T_9) >= ⌈26/2⌉−2 = 11.
+  const std::vector<RootedTree> play =
+      ExactSolver(9).witnessPlay(bounds::lowerBound(9));
+  EXPECT_EQ(play.size(), bounds::lowerBound(9));  // = 11
+  BroadcastSim sim(9);
+  std::size_t completedAt = 0;
+  for (std::size_t r = 0; r < play.size(); ++r) {
+    sim.applyTree(play[r]);
+    if (sim.broadcastDone() && completedAt == 0) completedAt = r + 1;
+  }
+  EXPECT_EQ(completedAt, play.size());
+}
+
+TEST(WitnessPlayTest, ExhaustedBudgetStillReturnsAValidShorterPlay) {
+  // A starved search degrades to the longest line it certified — down to
+  // the always-available single finishing move — never to an invalid
+  // sequence.
+  ExactWitnessOptions opts;
+  opts.nodeBudget = 0;
+  const std::vector<RootedTree> play =
+      ExactSolver(9).witnessPlay(bounds::lowerBound(9), opts);
+  ASSERT_EQ(play.size(), 1u);
+  BroadcastSim sim(9);
+  sim.applyTree(play[0]);
+  EXPECT_TRUE(sim.broadcastDone());
+}
+
+TEST(WitnessPlayTest, ZeroTargetIsEmpty) {
+  EXPECT_TRUE(ExactSolver(5).witnessPlay(0).empty());
 }
 
 TEST(ExactSolverTest, DepthCapViolationThrows) {

@@ -138,7 +138,7 @@ TEST(AdversaryRegistryTest, BadParameterValuesThrow) {
   EXPECT_THROW((void)registry.make("freeze-broom:handle=9", 8, 1),
                std::invalid_argument);  // handle > n
   EXPECT_THROW((void)registry.make("exact", 9, 1),
-               std::invalid_argument);  // beyond the uint64 packing limit
+               std::invalid_argument);  // beyond the exhaustive pool limit
   // Negative values must get the friendly error, not std::stoull's
   // silent wraparound into a huge unsigned (which once slipped past the
   // range guards into a raw constructor assert).
@@ -146,6 +146,38 @@ TEST(AdversaryRegistryTest, BadParameterValuesThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)registry.make("beam:width=-3", 8, 1),
                std::invalid_argument);
+}
+
+TEST(AdversaryRegistryTest, BeamSpecValidationMatchesRegistryStyle) {
+  // Both crash-prone configs are rejected eagerly at make() time with
+  // registry-style messages, not at first nextTree() deep in a run.
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
+  try {
+    (void)registry.make("beam:width=0", 8, 1);
+    FAIL() << "width=0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("adversary 'beam'"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)registry.make("beam:diversity=101", 8, 1);
+    FAIL() << "diversity=101 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("adversary 'beam'"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("100"), std::string::npos)
+        << e.what();
+  }
+  // The boundary values themselves stay legal.
+  EXPECT_NO_THROW((void)registry.make("beam:width=1,diversity=100", 4, 1));
+}
+
+TEST(AdversaryRegistryTest, LookaheadTranspositionToggleIsASpecParam) {
+  const AdversaryRegistry& registry = AdversaryRegistry::instance();
+  EXPECT_NO_THROW((void)registry.make("lookahead:depth=2,tt=0", 6, 1));
+  EXPECT_NO_THROW((void)registry.make("lookahead:depth=2,tt=1", 6, 1));
 }
 
 TEST(AdversaryRegistryTest, BeamNameCarriesTheFullSpec) {

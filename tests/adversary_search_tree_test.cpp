@@ -1,0 +1,188 @@
+#include "src/adversary/search_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/support/hashing.h"
+#include "src/tree/families.h"
+
+namespace dynbcast {
+namespace {
+
+TEST(SearchTreeArenaTest, RootLifecycle) {
+  SearchTreeArena arena(4);
+  const std::uint32_t root = arena.acquireRoot();
+  EXPECT_EQ(arena.liveNodes(), 1u);
+  EXPECT_EQ(arena.depth(root), 0u);
+  EXPECT_EQ(arena.parent(root), SearchTreeArena::kNoNode);
+  EXPECT_TRUE(arena.lineage(root).empty());
+  arena.release(root);
+  EXPECT_EQ(arena.liveNodes(), 0u);
+}
+
+TEST(SearchTreeArenaTest, LineageWalksParentChain) {
+  SearchTreeArena arena(8);
+  const std::uint32_t root = arena.acquireRoot();
+  const std::uint32_t a = arena.acquireChild(root, makeStar(4, 0));
+  const std::uint32_t b = arena.acquireChild(a, makeStar(4, 1));
+  const std::uint32_t c = arena.acquireChild(b, makeStar(4, 2));
+  EXPECT_EQ(arena.depth(c), 3u);
+  const std::vector<RootedTree> line = arena.lineage(c);
+  ASSERT_EQ(line.size(), 3u);
+  EXPECT_EQ(line[0], makeStar(4, 0));
+  EXPECT_EQ(line[1], makeStar(4, 1));
+  EXPECT_EQ(line[2], makeStar(4, 2));
+}
+
+TEST(SearchTreeArenaTest, ReleaseCascadesThroughDeadBranches) {
+  SearchTreeArena arena(8);
+  const std::uint32_t root = arena.acquireRoot();
+  const std::uint32_t a = arena.acquireChild(root, makeStar(3, 0));
+  const std::uint32_t b = arena.acquireChild(a, makeStar(3, 1));
+  // Drop the caller references of the interior nodes: they stay alive
+  // because the leaf pins them.
+  arena.release(root);
+  arena.release(a);
+  EXPECT_EQ(arena.liveNodes(), 3u);
+  // Releasing the leaf reclaims the whole chain at once.
+  arena.release(b);
+  EXPECT_EQ(arena.liveNodes(), 0u);
+}
+
+TEST(SearchTreeArenaTest, SharedPrefixSurvivesSiblingRelease) {
+  SearchTreeArena arena(8);
+  const std::uint32_t root = arena.acquireRoot();
+  const std::uint32_t left = arena.acquireChild(root, makeStar(3, 0));
+  const std::uint32_t right = arena.acquireChild(root, makeStar(3, 1));
+  arena.release(root);
+  arena.release(left);
+  EXPECT_EQ(arena.liveNodes(), 2u);  // root + right
+  const std::vector<RootedTree> line = arena.lineage(right);
+  ASSERT_EQ(line.size(), 1u);
+  EXPECT_EQ(line[0], makeStar(3, 1));
+  arena.release(right);
+  EXPECT_EQ(arena.liveNodes(), 0u);
+}
+
+TEST(SearchTreeArenaTest, RecyclesSlotsWithoutGrowing) {
+  SearchTreeArena arena(2);
+  const std::size_t cap = arena.capacity();
+  // Churn more nodes than the capacity through acquire/release cycles:
+  // the free list must recycle slots instead of growing.
+  for (int i = 0; i < 10; ++i) {
+    const std::uint32_t root = arena.acquireRoot();
+    const std::uint32_t child = arena.acquireChild(root, makeStar(3, 0));
+    arena.release(root);
+    arena.release(child);
+  }
+  EXPECT_EQ(arena.capacity(), cap);
+  EXPECT_EQ(arena.growEvents(), 0u);
+  EXPECT_EQ(arena.peakLiveNodes(), 2u);
+}
+
+TEST(SearchTreeArenaTest, GrowsPastInitialCapacity) {
+  SearchTreeArena arena(1);
+  std::vector<std::uint32_t> ids;
+  ids.push_back(arena.acquireRoot());
+  for (int i = 0; i < 7; ++i) {
+    ids.push_back(arena.acquireChild(ids.back(), makeStar(3, 0)));
+  }
+  EXPECT_EQ(arena.liveNodes(), 8u);
+  EXPECT_GT(arena.growEvents(), 0u);
+  EXPECT_EQ(arena.lineage(ids.back()).size(), 7u);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) arena.release(*it);
+  EXPECT_EQ(arena.liveNodes(), 0u);
+}
+
+TEST(TranspositionTableTest, InsertAndVerifiedHit) {
+  // Payloads index this backing store; the predicate compares the real
+  // state behind a payload, as the search layers do with heard matrices.
+  const std::vector<int> states = {7, 7, 9};
+  TranspositionTable table(8);
+  const auto first = table.insertOrFind(
+      1234, 0, [&](std::uint32_t p) { return states[p] == states[0]; });
+  EXPECT_TRUE(first.inserted);
+  EXPECT_EQ(first.payload, 0u);
+  // Same digest, equal state: a verified hit returning the resident.
+  const auto dup = table.insertOrFind(
+      1234, 1, [&](std::uint32_t p) { return states[p] == states[1]; });
+  EXPECT_FALSE(dup.inserted);
+  EXPECT_EQ(dup.payload, 0u);
+  EXPECT_EQ(table.verifiedHits(), 1u);
+  EXPECT_EQ(table.hashCollisions(), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(TranspositionTableTest, DigestCollisionNeverMergesDistinctStates) {
+  // The bugfix this module exists for: two DISTINCT states that happen
+  // to share a digest must both survive. The old raw-digest dedup would
+  // have silently dropped the second as "seen".
+  const std::vector<int> states = {7, 9};
+  TranspositionTable table(8);
+  const auto a = table.insertOrFind(
+      1234, 0, [&](std::uint32_t p) { return states[p] == states[0]; });
+  const auto b = table.insertOrFind(
+      1234, 1, [&](std::uint32_t p) { return states[p] == states[1]; });
+  EXPECT_TRUE(a.inserted);
+  EXPECT_TRUE(b.inserted);  // collision detected, probing continued
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.hashCollisions(), 1u);
+  EXPECT_EQ(table.verifiedHits(), 0u);
+  // Both states are individually retrievable under the shared digest.
+  EXPECT_EQ(table.find(1234,
+                       [&](std::uint32_t p) { return states[p] == 7; }),
+            0u);
+  EXPECT_EQ(table.find(1234,
+                       [&](std::uint32_t p) { return states[p] == 9; }),
+            1u);
+}
+
+TEST(TranspositionTableTest, FindMissesAbsentDigest) {
+  TranspositionTable table(4);
+  EXPECT_EQ(table.find(42, [](std::uint32_t) { return true; }),
+            TranspositionTable::kNoPayload);
+}
+
+TEST(TranspositionTableTest, ClearKeepsAllocation) {
+  TranspositionTable table(4);
+  (void)table.insertOrFind(1, 0, [](std::uint32_t) { return true; });
+  const std::size_t slots = table.slots();
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.slots(), slots);
+  EXPECT_EQ(table.find(1, [](std::uint32_t) { return true; }),
+            TranspositionTable::kNoPayload);
+  const auto again =
+      table.insertOrFind(1, 5, [](std::uint32_t) { return true; });
+  EXPECT_TRUE(again.inserted);
+  EXPECT_EQ(again.payload, 5u);
+}
+
+TEST(TranspositionTableTest, GrowPreservesEntries) {
+  TranspositionTable table(0);  // minimal footprint: force rehashing
+  std::vector<std::uint64_t> digests;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    digests.push_back(hashMix(i + 1));
+    const auto r = table.insertOrFind(digests.back(), i,
+                                      [&](std::uint32_t p) { return p == i; });
+    EXPECT_TRUE(r.inserted);
+  }
+  EXPECT_EQ(table.size(), 200u);
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(
+        table.find(digests[i], [&](std::uint32_t p) { return p == i; }), i);
+  }
+}
+
+TEST(HashingTest, HeardMatrixDigestSeparatesNearbyStates) {
+  std::vector<DynBitset> a(4, DynBitset(4));
+  for (std::size_t y = 0; y < 4; ++y) a[y].set(y);
+  std::vector<DynBitset> b = a;
+  b[2].set(3);
+  EXPECT_NE(hashHeardMatrix(a), hashHeardMatrix(b));
+  EXPECT_EQ(hashHeardMatrix(a), hashHeardMatrix(a));
+}
+
+}  // namespace
+}  // namespace dynbcast
