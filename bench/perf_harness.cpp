@@ -1,17 +1,21 @@
 // perf_harness: the repo's perf telemetry source of truth.
 //
-// Times (a) the raw-word kernels and the blocked boolean product against
-// naive references, (b) BroadcastSim round throughput, and (c) the
-// end-to-end thm31 portfolio sweep in legacy-allocation mode vs the
-// scratch-arena mode, then emits machine-readable JSON:
+// Times (a) the raw-word kernels (through the runtime SIMD dispatch
+// table) and the blocked boolean product against naive references,
+// (b) BroadcastSim round throughput — scalar and batched across 8
+// lockstep lanes — and (c) the end-to-end thm31 portfolio sweep plus a
+// batched-vs-scalar engine sweep over oblivious members, then emits
+// machine-readable JSON:
 //
 //   BENCH_kernels.json — per-kernel ns/op and GiB/s
-//   BENCH_sweep.json   — portfolio sweep wall time, legacy vs arena, and
-//                        the arena speedup factor
+//   BENCH_sweep.json   — sweep wall times, the batch speedup factors,
+//                        and search-core telemetry
 //
 // CI's bench-smoke job runs `perf_harness --quick --csv=...`, uploads the
 // JSONs as artifacts, and gates on bench/baseline.json via
 // bench/check_bench_regression.py (see bench/README.md for the schema).
+// Set DYNBCAST_FORCE_SCALAR=1 to take the SIMD tiers out of every
+// measurement (the printed simd level records which tier actually ran).
 //
 // Flags (on top of the shared driver's --sizes/--seed/--jobs/--csv):
 //   --quick        CI mode: smaller sweep size and shorter kernel reps
@@ -22,6 +26,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,9 +34,12 @@
 #include "src/adversary/adaptive.h"
 #include "src/adversary/beam.h"
 #include "src/adversary/lookahead.h"
+#include "src/adversary/oblivious.h"
 #include "src/adversary/portfolio.h"
 #include "src/dynamics/registry.h"
+#include "src/engine/experiment_engine.h"
 #include "src/graph/bitmatrix.h"
+#include "src/sim/batch_sim.h"
 #include "src/sim/broadcast_sim.h"
 #include "src/sim/frontier_sim.h"
 #include "src/support/bitset.h"
@@ -211,6 +219,31 @@ KernelResult benchSimRound(std::size_t n, double minSeconds, Rng& rng) {
   return r;
 }
 
+/// Lanes per batched round here AND in the batched engine sweep below —
+/// matches BatchPolicy::kAutoWidth so the gated speedups describe what
+/// `--batch=auto` actually runs.
+constexpr std::size_t kBatchBenchWidth = 8;
+
+KernelResult benchBatchRound(std::size_t n, double minSeconds, Rng& rng) {
+  // simApplyTree's batched twin: the same cyclic tree pool, one op = one
+  // shared-tree round advancing kBatchBenchWidth lanes in lockstep. The
+  // paired metric is ns/op ÷ width vs simApplyTree's ns/op — what the
+  // fused decode + lane-contiguous planes buy per replicate round.
+  std::vector<RootedTree> trees;
+  for (int i = 0; i < 32; ++i) trees.push_back(randomRootedTree(n, rng));
+  BatchBroadcastSim sim(n, kBatchBenchWidth);
+  std::size_t next = 0;
+  auto [reps, secs] = timeLoop(minSeconds, [&] {
+    sim.applyTree(trees[next]);
+    next = (next + 1) % trees.size();
+    if (sim.gossipDone(0)) sim.reset();
+    consume(sim.heardCount(0, 0));
+  });
+  KernelResult r{"batchApplyTree", n, reps, 0.0, 0.0};
+  r.nsPerOp = secs * 1e9 / static_cast<double>(reps);
+  return r;
+}
+
 KernelResult benchFrontierRound(std::size_t n, double minSeconds, Rng& rng) {
   // simApplyTree's sparse twin: the same cyclic tree pool driven through
   // FrontierSim, so the two rows compare the dense O(n²/64) recurrence
@@ -270,16 +303,74 @@ FrontierCrossover timeFrontierCrossover(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-/// End-to-end portfolio sweep timing in one eval mode. Returns wall ms.
-double timePortfolioSweep(std::size_t n, std::uint64_t seed, bool legacy,
+/// End-to-end portfolio sweep timing. Returns wall ms.
+double timePortfolioSweep(std::size_t n, std::uint64_t seed,
                           std::size_t* bestRounds) {
-  setLegacyEvalMode(legacy);
   const auto start = Clock::now();
   const PortfolioResult result = runPortfolio(n, seed);
   const double ms = secondsSince(start) * 1e3;
-  setLegacyEvalMode(false);
   if (bestRounds != nullptr) *bestRounds = result.bestRounds;
   return ms;
+}
+
+/// Batched vs scalar end-to-end engine sweep: the same 8 replicates of
+/// three oblivious members at one n, once with batch=off and once with
+/// batch=8, at jobs=1 so the ratio isolates batching from thread-pool
+/// scheduling. The rows are identical by construction (the batched
+/// recurrence is bit-exact), so the harness asserts it.
+struct BatchSweepTiming {
+  std::size_t n = 0;
+  double scalarMs = 0.0;
+  double batchedMs = 0.0;
+};
+
+BatchSweepTiming timeBatchedSweep(std::size_t n, std::uint64_t seed) {
+  SweepSpec spec;
+  spec.sizes = {n};
+  spec.masterSeed = seed;
+  spec.seedsPerSize = kBatchBenchWidth;
+  spec.portfolio = [](std::size_t count, std::uint64_t memberSeed) {
+    // Static-path dominates the wall time (t* = n − 1 rounds); the
+    // alternating and random paths add shared-tree and per-lane-tree
+    // rounds so both batched code paths are in the measurement.
+    std::vector<PortfolioMember> members;
+    members.push_back({"static-path", [count] {
+                         return std::unique_ptr<Adversary>(
+                             new StaticPathAdversary(count));
+                       }});
+    members.push_back({"alternating-path", [count] {
+                         return std::unique_ptr<Adversary>(
+                             new AlternatingPathAdversary(count));
+                       }});
+    members.push_back({"random-path", [count, memberSeed] {
+                         return std::unique_ptr<Adversary>(
+                             new RandomPathAdversary(count, memberSeed));
+                       }});
+    return members;
+  };
+  ExperimentEngine engine({/*jobs=*/1, /*recordHistory=*/false});
+  BatchSweepTiming t;
+  t.n = n;
+  spec.batch = {BatchPolicy::Mode::kOff, 0};
+  std::vector<SweepRow> scalarRows;
+  {
+    const auto start = Clock::now();
+    SweepResult result = engine.runSweep(spec);
+    t.scalarMs = secondsSince(start) * 1e3;
+    scalarRows = std::move(result.rows);
+  }
+  spec.batch = {BatchPolicy::Mode::kFixed, kBatchBenchWidth};
+  {
+    const auto start = Clock::now();
+    const SweepResult result = engine.runSweep(spec);
+    t.batchedMs = secondsSince(start) * 1e3;
+    if (result.rows != scalarRows) {
+      std::cerr << "FATAL: batched sweep rows diverged from scalar\n";
+      std::exit(1);
+    }
+    consume(result.rows[0].rounds);
+  }
+  return t;
 }
 
 /// Search-core telemetry: one beam witness search at a FIXED size (same
@@ -337,8 +428,9 @@ void writeKernelsJson(const std::string& path,
 }
 
 void writeSweepJson(const std::string& path, std::size_t n,
-                    std::uint64_t seed, bool quick, double legacyMs,
-                    double arenaMs, std::size_t bestRounds,
+                    std::uint64_t seed, bool quick, double portfolioMs,
+                    std::size_t bestRounds, double batchRoundSpeedup,
+                    const BatchSweepTiming& batchSweep,
                     double productSpeedup, std::size_t productN,
                     const FrontierCrossover& frontier,
                     const SearchTelemetry& search) {
@@ -351,9 +443,15 @@ void writeSweepJson(const std::string& path, std::size_t n,
   std::fprintf(f, "  \"quick\": %s,\n", quick ? "true" : "false");
   std::fprintf(f, "  \"n\": %zu,\n  \"seed\": %llu,\n", n,
                static_cast<unsigned long long>(seed));
-  std::fprintf(f, "  \"portfolio_legacy_ms\": %.3f,\n", legacyMs);
-  std::fprintf(f, "  \"portfolio_arena_ms\": %.3f,\n", arenaMs);
-  std::fprintf(f, "  \"arena_speedup\": %.4f,\n", legacyMs / arenaMs);
+  std::fprintf(f, "  \"simd_level\": \"%s\",\n",
+               bitword::simdLevelName(bitword::dispatch().level));
+  std::fprintf(f, "  \"portfolio_ms\": %.3f,\n", portfolioMs);
+  std::fprintf(f, "  \"batch_width\": %zu,\n", kBatchBenchWidth);
+  std::fprintf(f, "  \"batch_round_speedup\": %.4f,\n", batchRoundSpeedup);
+  std::fprintf(f, "  \"batch_scalar_ms\": %.3f,\n", batchSweep.scalarMs);
+  std::fprintf(f, "  \"batch_batched_ms\": %.3f,\n", batchSweep.batchedMs);
+  std::fprintf(f, "  \"batch_sweep_speedup\": %.4f,\n",
+               batchSweep.scalarMs / batchSweep.batchedMs);
   std::fprintf(f, "  \"product_blocked_speedup\": %.4f,\n", productSpeedup);
   std::fprintf(f, "  \"product_n\": %zu,\n", productN);
   std::fprintf(f, "  \"frontier_n\": %zu,\n", frontier.n);
@@ -409,6 +507,9 @@ int main(int argc, char** argv) {
   const double minSeconds = quick ? 0.05 : 0.25;
 
   driver.printHeader("PERF — kernel throughput + portfolio sweep telemetry");
+  std::cout << "simd dispatch: "
+            << bitword::simdLevelName(bitword::dispatch().level)
+            << " (set DYNBCAST_FORCE_SCALAR=1 to disable)\n\n";
   Rng rng(driver.seed());
 
   // --- kernels ---------------------------------------------------------
@@ -428,7 +529,14 @@ int main(int argc, char** argv) {
   const double productSpeedup =
       products[0].nsPerOp / products[1].nsPerOp;  // naive / blocked
   kernels.push_back(benchSimRound(sweepN, minSeconds, rng));
+  const KernelResult simRound = kernels.back();
+  kernels.push_back(benchBatchRound(sweepN, minSeconds, rng));
+  const KernelResult batchRound = kernels.back();
   kernels.push_back(benchFrontierRound(sweepN, minSeconds, rng));
+  // Per-replicate round speedup: a batched op advances width lanes.
+  const double batchRoundSpeedup =
+      simRound.nsPerOp * static_cast<double>(kBatchBenchWidth) /
+      batchRound.nsPerOp;
 
   TextTable kernelTable({"kernel", "bits/n", "reps", "ns/op", "GiB/s"});
   for (const KernelResult& k : kernels) {
@@ -440,20 +548,21 @@ int main(int argc, char** argv) {
         .add(k.gibPerS, 2);
   }
 
-  // --- end-to-end portfolio sweep: legacy allocations vs scratch arena -
+  // --- end-to-end sweeps: thm31 portfolio + batched vs scalar ----------
   std::size_t bestRounds = 0;
-  const double legacyMs =
-      timePortfolioSweep(sweepN, driver.seed(), /*legacy=*/true, nullptr);
-  const double arenaMs =
-      timePortfolioSweep(sweepN, driver.seed(), /*legacy=*/false,
-                         &bestRounds);
-  TextTable sweepTable({"n", "legacy ms", "arena ms", "speedup", "best t*"});
+  const double portfolioMs =
+      timePortfolioSweep(sweepN, driver.seed(), &bestRounds);
+  const BatchSweepTiming batchSweep =
+      timeBatchedSweep(sweepN, driver.seed());
+  TextTable sweepTable({"n", "portfolio ms", "best t*", "scalar ms",
+                        "batched ms", "batch speedup"});
   sweepTable.row()
       .add(static_cast<std::uint64_t>(sweepN))
-      .add(legacyMs, 1)
-      .add(arenaMs, 1)
-      .add(legacyMs / arenaMs, 2)
-      .add(static_cast<std::uint64_t>(bestRounds));
+      .add(portfolioMs, 1)
+      .add(static_cast<std::uint64_t>(bestRounds))
+      .add(batchSweep.scalarMs, 1)
+      .add(batchSweep.batchedMs, 1)
+      .add(batchSweep.scalarMs / batchSweep.batchedMs, 2);
 
   // --- search core: beam witness + lookahead transposition telemetry -
   const SearchTelemetry search = timeSearchTelemetry(driver.seed());
@@ -493,7 +602,7 @@ int main(int argc, char** argv) {
   writeKernelsJson(outDir + "/BENCH_kernels.json", kernels, quick,
                    driver.jobs());
   writeSweepJson(outDir + "/BENCH_sweep.json", sweepN, driver.seed(), quick,
-                 legacyMs, arenaMs, bestRounds, productSpeedup, productN,
-                 frontier, search);
+                 portfolioMs, bestRounds, batchRoundSpeedup, batchSweep,
+                 productSpeedup, productN, frontier, search);
   return 0;
 }

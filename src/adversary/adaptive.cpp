@@ -1,7 +1,6 @@
 #include "src/adversary/adaptive.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <numeric>
 
@@ -10,20 +9,6 @@
 #include "src/tree/generators.h"
 
 namespace dynbcast {
-
-namespace {
-
-std::atomic<bool> gLegacyEvalMode{false};
-
-}  // namespace
-
-void setLegacyEvalMode(bool enabled) noexcept {
-  gLegacyEvalMode.store(enabled, std::memory_order_relaxed);
-}
-
-bool legacyEvalMode() noexcept {
-  return gLegacyEvalMode.load(std::memory_order_relaxed);
-}
 
 std::vector<std::size_t> coverageCounts(const BroadcastSim& state) {
   const std::size_t n = state.processCount();
@@ -37,52 +22,11 @@ std::vector<std::size_t> coverageCounts(const BroadcastSim& state) {
   return coverage;
 }
 
-namespace {
-
-/// The historical allocating implementation, kept verbatim as the perf
-/// harness's A/B reference and the tests' oracle. Fresh heard copy, fresh
-/// coverage vector, fresh per-node delta bitsets — the exact churn the
-/// scratch arena eliminates. Results land in `scratch` so both paths have
-/// the same contract.
-DelayScore evaluateCandidateLegacy(const std::vector<DynBitset>& heard,
-                                   const std::vector<std::size_t>& coverage,
-                                   const RootedTree& tree,
-                                   EvalScratch& scratch) {
-  const std::size_t n = heard.size();
-  std::vector<std::size_t> cov = coverage;
-  DelayScore score;
-  std::vector<DynBitset> work = heard;
-  const std::vector<std::size_t> order = tree.bfsOrder();
-  for (std::size_t i = order.size(); i-- > 0;) {
-    const std::size_t y = order[i];
-    const std::size_t p = tree.parent(y);
-    if (p == y) continue;
-    DynBitset delta = work[p];
-    delta.subtract(work[y]);
-    for (std::size_t x = delta.findFirst(); x < n; x = delta.findNext(x + 1)) {
-      ++cov[x];
-      ++score.newEdges;
-    }
-    work[y].orWith(work[p]);
-  }
-  for (const std::size_t c : cov) {
-    score.maxCoverage = std::max(score.maxCoverage, c);
-    if (c == n) score.finishes = true;
-    score.potential +=
-        std::exp2(static_cast<double>(std::min<std::size_t>(c, 50)));
-  }
-  scratch.heard = std::move(work);
-  scratch.coverage = std::move(cov);
-  return score;
-}
-
-}  // namespace
-
 DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
                              const std::vector<std::size_t>& coverage,
                              const RootedTree& tree,
                              std::vector<std::size_t>* coverageOut) {
-  EvalScratch scratch;
+  EvalScratch scratch = EvalScratch::forProcessCount(heard.size());
   const DelayScore score = evaluateCandidate(heard, coverage, tree, scratch);
   if (coverageOut != nullptr) *coverageOut = std::move(scratch.coverage);
   return score;
@@ -93,9 +37,6 @@ DelayScore evaluateCandidate(const std::vector<DynBitset>& heard,
                              const RootedTree& tree, EvalScratch& scratch) {
   const std::size_t n = heard.size();
   DYNBCAST_ASSERT(tree.size() == n && coverage.size() == n);
-  if (legacyEvalMode()) {
-    return evaluateCandidateLegacy(heard, coverage, tree, scratch);
-  }
   // Walk the tree in reverse BFS exactly like the simulator would, but
   // only materialize the deltas: for each node, the processes it newly
   // learns about bump their coverage. The delta is iterated straight off
@@ -170,26 +111,15 @@ RootedTree buildDamageTreeImpl(const BroadcastSim& state,
       weight[x] *= 1.0 + noiseAmplitude * rng->uniformReal();
     }
   }
-  // Prim evaluates O(n²) candidate edges; the allocating delta bitset the
-  // legacy path builds per edge was the single hottest allocation site in
-  // the whole portfolio. The kernel iterates (p & ~y) off the raw words in
-  // the same ascending order, so the floating-point sum is identical.
+  // Prim evaluates O(n²) candidate edges, so the per-edge delta must not
+  // allocate: the kernel iterates (p & ~y) straight off the raw words in
+  // ascending bit order, accumulating the weights in one pass.
   const std::size_t nwords = state.heardBy(0).wordCount();
-  const bool legacy = legacyEvalMode();
   const auto damage = [&](std::size_t p, std::size_t y) {
     double d = 0.0;
-    if (legacy) {
-      DynBitset delta = state.heardBy(p);
-      delta.subtract(state.heardBy(y));
-      for (std::size_t x = delta.findFirst(); x < n;
-           x = delta.findNext(x + 1)) {
-        d += weight[x];
-      }
-    } else {
-      bitword::forEachInDifference(state.heardBy(p).wordData(),
-                                   state.heardBy(y).wordData(), nwords,
-                                   [&](std::size_t x) { d += weight[x]; });
-    }
+    bitword::forEachInDifference(state.heardBy(p).wordData(),
+                                 state.heardBy(y).wordData(), nwords,
+                                 [&](std::size_t x) { d += weight[x]; });
     return d;
   };
   // Prim's algorithm over the complete damage graph: heard sets are
@@ -335,7 +265,8 @@ GreedyDelayAdversary::GreedyDelayAdversary(std::size_t n, std::uint64_t seed,
       seed_(seed),
       rng_(seed),
       config_(config),
-      order_(identityOrder(n)) {}
+      order_(identityOrder(n)),
+      scratch_(EvalScratch::forProcessCount(n)) {}
 
 void GreedyDelayAdversary::reset() {
   rng_ = Rng(seed_);

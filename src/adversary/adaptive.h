@@ -35,15 +35,6 @@
 
 namespace dynbcast {
 
-/// Perf A/B switch: when true, candidate evaluation and damage-tree
-/// construction run the historical allocating implementations instead of
-/// the scratch-arena word kernels. Results are bit-identical either way
-/// (the tests assert it); the perf harness flips this to measure the
-/// arena's speedup. Do not toggle while adversaries are running on other
-/// threads.
-void setLegacyEvalMode(bool enabled) noexcept;
-[[nodiscard]] bool legacyEvalMode() noexcept;
-
 /// Per-process coverage: coverage[x] = |{y : x ∈ Heard(y)}|. Broadcast is
 /// done exactly when some coverage[x] == n.
 [[nodiscard]] std::vector<std::size_t> coverageCounts(

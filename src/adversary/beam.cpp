@@ -161,7 +161,7 @@ BeamResult beamSearchWitness(std::size_t n, std::uint64_t seed,
   // rejected candidates (the vast majority) no longer allocate anything,
   // and survivors copy their post-move state straight out of the scratch
   // instead of re-applying the tree to a fresh matrix.
-  EvalScratch scratch;
+  EvalScratch scratch = EvalScratch::forProcessCount(n);
   // The final move of any lineage completes broadcast, so the achieved
   // rounds = (levels survived) + 1; expanding only while survived + 1 <
   // cap keeps the reported rounds within the documented maxRounds cap.

@@ -44,7 +44,8 @@ LocalSearchPathAdversary::LocalSearchPathAdversary(std::size_t n,
       seed_(seed),
       rng_(seed),
       config_(config),
-      order_(identityOrder(n)) {
+      order_(identityOrder(n)),
+      scratch_(EvalScratch::forProcessCount(n)) {
   DYNBCAST_ASSERT(config_.freezeDepth >= 1);
 }
 

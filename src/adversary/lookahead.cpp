@@ -184,7 +184,9 @@ RootedTree LookaheadDelayAdversary::nextTree(const BroadcastSim& state) {
   DYNBCAST_ASSERT(state.processCount() == n_);
   const std::vector<std::size_t> coverage = coverageCounts(state);
   RootedTree chosen = makePath(order_);
-  arena_.resize(config_.depth);
+  if (arena_.size() < config_.depth) {
+    arena_.resize(config_.depth, EvalScratch::forProcessCount(n_));
+  }
   TtCache cache;
   TtCache* cachePtr = config_.transposition ? &cache : nullptr;
   (void)search(state.heardMatrix(), coverage, order_, rng_, config_,

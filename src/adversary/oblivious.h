@@ -17,6 +17,8 @@ class StaticTreeAdversary final : public Adversary {
   explicit StaticTreeAdversary(RootedTree tree);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override { return "static-tree"; }
 
  private:
@@ -29,6 +31,8 @@ class StaticPathAdversary final : public Adversary {
   explicit StaticPathAdversary(std::size_t n);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override { return "static-path"; }
 
  private:
@@ -41,6 +45,8 @@ class UniformRandomAdversary final : public Adversary {
   UniformRandomAdversary(std::size_t n, std::uint64_t seed);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override { return "random-tree"; }
   void reset() override;
 
@@ -48,6 +54,8 @@ class UniformRandomAdversary final : public Adversary {
   std::size_t n_;
   std::uint64_t seed_;
   Rng rng_;
+  /// obliviousTree()'s last generated tree (the returned reference).
+  RootedTree scratch_ = RootedTree::trivial();
 };
 
 /// A path over a fresh uniformly random permutation every round.
@@ -56,6 +64,8 @@ class RandomPathAdversary final : public Adversary {
   RandomPathAdversary(std::size_t n, std::uint64_t seed);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override { return "random-path"; }
   void reset() override;
 
@@ -63,6 +73,8 @@ class RandomPathAdversary final : public Adversary {
   std::size_t n_;
   std::uint64_t seed_;
   Rng rng_;
+  /// obliviousTree()'s last generated tree (the returned reference).
+  RootedTree scratch_ = RootedTree::trivial();
 };
 
 /// Alternates the identity path and its reversal — the classic "ping-pong"
@@ -72,6 +84,8 @@ class AlternatingPathAdversary final : public Adversary {
   explicit AlternatingPathAdversary(std::size_t n);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override {
     return "alternating-path";
   }
@@ -88,6 +102,8 @@ class KLeafAdversary final : public Adversary {
   KLeafAdversary(std::size_t n, std::size_t k, std::uint64_t seed);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
 
@@ -96,6 +112,8 @@ class KLeafAdversary final : public Adversary {
   std::size_t k_;
   std::uint64_t seed_;
   Rng rng_;
+  /// obliviousTree()'s last generated tree (the returned reference).
+  RootedTree scratch_ = RootedTree::trivial();
 };
 
 /// Restricted adversary of [14]: a fresh random tree with exactly k inner
@@ -105,6 +123,8 @@ class KInnerAdversary final : public Adversary {
   KInnerAdversary(std::size_t n, std::size_t k, std::uint64_t seed);
 
   [[nodiscard]] RootedTree nextTree(const BroadcastSim& state) override;
+  [[nodiscard]] bool oblivious() const noexcept override { return true; }
+  [[nodiscard]] const RootedTree& obliviousTree(std::size_t round) override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
 
@@ -113,6 +133,8 @@ class KInnerAdversary final : public Adversary {
   std::size_t k_;
   std::uint64_t seed_;
   Rng rng_;
+  /// obliviousTree()'s last generated tree (the returned reference).
+  RootedTree scratch_ = RootedTree::trivial();
 };
 
 }  // namespace dynbcast

@@ -1,10 +1,14 @@
 #include "src/engine/experiment_engine.h"
 
+#include <algorithm>
+#include <cctype>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "src/adversary/adversary.h"
 #include "src/support/assert.h"
+#include "src/support/spec.h"
 
 namespace dynbcast {
 
@@ -18,7 +22,57 @@ struct InstancePlan {
   std::size_t firstRow = 0;  // offset of this instance's rows
 };
 
+/// One unit of run-phase work: a scalar (instance, member) run when
+/// laneCount == 1, else a lockstep batch of laneCount consecutive
+/// replicates of the same member position.
+struct RunTask {
+  std::size_t planBegin = 0;
+  std::size_t laneCount = 1;
+  std::size_t memberPos = 0;
+};
+
 }  // namespace
+
+BatchPolicy parseBatchPolicy(const std::string& text) {
+  if (text == "auto") return {BatchPolicy::Mode::kAuto, 0};
+  if (text == "off") return {BatchPolicy::Mode::kOff, 0};
+  const bool numeric =
+      !text.empty() &&
+      std::all_of(text.begin(), text.end(), [](unsigned char c) {
+        return std::isdigit(c) != 0;
+      });
+  if (numeric) {
+    constexpr std::size_t kMaxWidth = 4096;
+    std::size_t width = 0;
+    for (const char c : text) {
+      width = width * 10 + static_cast<std::size_t>(c - '0');
+      if (width > kMaxWidth) break;
+    }
+    if (width >= 1 && width <= kMaxWidth) {
+      return {BatchPolicy::Mode::kFixed, width};
+    }
+    throw std::invalid_argument("batch: lane width must be between 1 and " +
+                                std::to_string(kMaxWidth) + " (got '" + text +
+                                "')");
+  }
+  std::string message = "unknown batch policy '" + text + "'";
+  const std::string suggestion = closestMatch(text, {"auto", "off"});
+  if (!suggestion.empty()) message += "; did you mean '" + suggestion + "'?";
+  message += " (expected auto, off, or a lane width like 8)";
+  throw std::invalid_argument(message);
+}
+
+std::string batchPolicyName(const BatchPolicy& policy) {
+  switch (policy.mode) {
+    case BatchPolicy::Mode::kOff:
+      return "off";
+    case BatchPolicy::Mode::kFixed:
+      return std::to_string(policy.width);
+    case BatchPolicy::Mode::kAuto:
+      break;
+  }
+  return "auto";
+}
 
 ExperimentEngine::ExperimentEngine(EngineConfig config)
     : config_(config), pool_(config.jobs) {}
@@ -53,39 +107,124 @@ SweepResult ExperimentEngine::runSweep(const SweepSpec& spec) {
     }
   }
 
-  // Run phase: one task per (instance, member) — member runs of one large
-  // instance spread over all cores instead of serializing on one. Each
-  // task writes only its own position-indexed slot, so the only shared
+  // Run phase: by default one task per (instance, member) — member runs
+  // of one large instance spread over all cores instead of serializing on
+  // one. Under the batch policy, replicates of an oblivious member within
+  // one size cell chunk into lockstep BatchBroadcastSim tasks instead
+  // (bit-identical rows, the tree decode amortized over the chunk). Each
+  // task writes only its own position-indexed slots, so the only shared
   // state is read-only plan data.
-  std::vector<std::pair<std::size_t, std::size_t>> taskOf;  // row → (p, m)
-  taskOf.reserve(totalRows);
-  for (std::size_t p = 0; p < plan.size(); ++p) {
-    for (std::size_t m = 0; m < plan[p].members.size(); ++m) {
-      taskOf.emplace_back(p, m);
+  const bool recordHistory =
+      spec.recordHistory.value_or(config_.recordHistory);
+  const std::size_t roundCap = spec.roundCap;
+  const std::size_t replicates = spec.seedsPerSize;
+  const std::size_t batchWidth = spec.batch.mode == BatchPolicy::Mode::kFixed
+                                     ? spec.batch.width
+                                     : BatchPolicy::kAutoWidth;
+  DYNBCAST_ASSERT(spec.batch.mode != BatchPolicy::Mode::kFixed ||
+                  spec.batch.width >= 1);
+  // History recording forces the scalar path (batches never record), and
+  // auto only engages once a cell has a full batch of replicates.
+  const bool batchable =
+      !recordHistory && spec.batch.mode != BatchPolicy::Mode::kOff &&
+      (spec.batch.mode == BatchPolicy::Mode::kFixed ||
+       replicates >= BatchPolicy::kAutoWidth);
+  std::vector<RunTask> tasks;
+  tasks.reserve(totalRows);
+  std::vector<char> batchedPos;  // per member position of the current cell
+  for (std::size_t s = 0; s < spec.sizes.size(); ++s) {
+    const std::size_t begin = s * replicates;
+    const std::size_t memberCount = plan[begin].members.size();
+    batchedPos.assign(memberCount, 0);
+    if (batchable) {
+      // A member position batches when every replicate of this size cell
+      // lists the same member there (the portfolio factory may vary with
+      // the seed) and a probe instance reports itself oblivious.
+      bool sameShape = true;
+      for (std::size_t r = 1; sameShape && r < replicates; ++r) {
+        sameShape = plan[begin + r].members.size() == memberCount;
+      }
+      if (sameShape) {
+        for (std::size_t m = 0; m < memberCount; ++m) {
+          bool sameName = true;
+          for (std::size_t r = 1; sameName && r < replicates; ++r) {
+            sameName =
+                plan[begin + r].members[m].name == plan[begin].members[m].name;
+          }
+          if (sameName && plan[begin].members[m].make()->oblivious()) {
+            batchedPos[m] = 1;
+          }
+        }
+      }
+    }
+    for (std::size_t m = 0; m < memberCount; ++m) {
+      if (batchedPos[m]) {
+        for (std::size_t r = 0; r < replicates; r += batchWidth) {
+          tasks.push_back(
+              {begin + r, std::min(batchWidth, replicates - r), m});
+        }
+      } else {
+        for (std::size_t r = 0; r < replicates; ++r) {
+          if (m < plan[begin + r].members.size()) {
+            tasks.push_back({begin + r, 1, m});
+          }
+        }
+      }
+    }
+    // Replicates with MORE members than the cell's first instance (only
+    // possible when the member-list shapes differ across replicates,
+    // which also disabled batching) still need their extra rows run.
+    for (std::size_t r = 0; r < replicates; ++r) {
+      for (std::size_t m = memberCount; m < plan[begin + r].members.size();
+           ++m) {
+        tasks.push_back({begin + r, 1, m});
+      }
     }
   }
   SweepResult result;
   result.rows.resize(totalRows);
-  const bool recordHistory =
-      spec.recordHistory.value_or(config_.recordHistory);
-  const std::size_t roundCap = spec.roundCap;
-  pool_.parallelFor(totalRows, [&](std::size_t t) {
-    const auto [p, m] = taskOf[t];
-    const InstancePlan& instance = plan[p];
-    const PortfolioMember& member = instance.members[m];
-    const std::unique_ptr<Adversary> adversary = member.make();
-    const std::size_t cap =
-        roundCap != 0 ? roundCap : defaultRoundCap(instance.n);
-    BroadcastRun run =
-        runAdversary(instance.n, *adversary, cap, recordHistory);
-    SweepRow& row = result.rows[instance.firstRow + m];
-    row.n = instance.n;
-    row.seedIndex = instance.seedIndex;
-    row.instanceSeed = instance.instanceSeed;
-    row.member = member.name;
-    row.rounds = run.rounds;
-    row.completed = run.completed;
-    row.history = std::move(run.history);
+  pool_.parallelFor(tasks.size(), [&](std::size_t t) {
+    const RunTask& task = tasks[t];
+    if (task.laneCount == 1) {
+      const InstancePlan& instance = plan[task.planBegin];
+      const PortfolioMember& member = instance.members[task.memberPos];
+      const std::unique_ptr<Adversary> adversary = member.make();
+      const std::size_t cap =
+          roundCap != 0 ? roundCap : defaultRoundCap(instance.n);
+      BroadcastRun run =
+          runAdversary(instance.n, *adversary, cap, recordHistory);
+      SweepRow& row = result.rows[instance.firstRow + task.memberPos];
+      row.n = instance.n;
+      row.seedIndex = instance.seedIndex;
+      row.instanceSeed = instance.instanceSeed;
+      row.member = member.name;
+      row.rounds = run.rounds;
+      row.completed = run.completed;
+      row.history = std::move(run.history);
+      return;
+    }
+    const std::size_t n = plan[task.planBegin].n;
+    const std::size_t cap = roundCap != 0 ? roundCap : defaultRoundCap(n);
+    std::vector<std::unique_ptr<Adversary>> owners;
+    std::vector<Adversary*> lanes;
+    owners.reserve(task.laneCount);
+    lanes.reserve(task.laneCount);
+    for (std::size_t i = 0; i < task.laneCount; ++i) {
+      owners.push_back(
+          plan[task.planBegin + i].members[task.memberPos].make());
+      lanes.push_back(owners.back().get());
+    }
+    const std::vector<BroadcastRun> runs = runObliviousBatch(n, lanes, cap);
+    for (std::size_t i = 0; i < task.laneCount; ++i) {
+      const InstancePlan& instance = plan[task.planBegin + i];
+      SweepRow& row = result.rows[instance.firstRow + task.memberPos];
+      row.n = instance.n;
+      row.seedIndex = instance.seedIndex;
+      row.instanceSeed = instance.instanceSeed;
+      row.member = instance.members[task.memberPos].name;
+      row.rounds = runs[i].rounds;
+      row.completed = runs[i].completed;
+    }
   });
 
   // Aggregate phase (serial): regroup rows into per-instance portfolio

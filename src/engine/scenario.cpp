@@ -177,8 +177,8 @@ struct InstancePlan {
         const std::size_t cap = spec.roundCap != 0 ? spec.roundCap
                                                    : model->defaultRoundCap();
         const bool useSparse =
-            spec.backend == SimBackend::kSparse ||
-            (spec.backend == SimBackend::kAuto &&
+            spec.backend == BackendChoice::kSparse ||
+            (spec.backend == BackendChoice::kAuto &&
              model->supportsSparseRounds() && !spec.recordHistory &&
              instance.n > kAutoSparseThreshold);
         BroadcastRun run =
@@ -233,10 +233,10 @@ std::string objectiveName(Objective objective) {
   return objective == Objective::kBroadcast ? "broadcast" : "gossip";
 }
 
-SimBackend parseSimBackend(const std::string& text) {
-  if (text == "dense") return SimBackend::kDense;
-  if (text == "sparse") return SimBackend::kSparse;
-  if (text == "auto") return SimBackend::kAuto;
+BackendChoice parseBackendChoice(const std::string& text) {
+  if (text == "dense") return BackendChoice::kDense;
+  if (text == "sparse") return BackendChoice::kSparse;
+  if (text == "auto") return BackendChoice::kAuto;
   std::string message = "unknown backend '" + text + "'";
   const std::string suggestion =
       closestMatch(text, {"dense", "sparse", "auto"});
@@ -245,13 +245,13 @@ SimBackend parseSimBackend(const std::string& text) {
   throw std::invalid_argument(message);
 }
 
-std::string simBackendName(SimBackend backend) {
+std::string backendChoiceName(BackendChoice backend) {
   switch (backend) {
-    case SimBackend::kDense:
+    case BackendChoice::kDense:
       return "dense";
-    case SimBackend::kSparse:
+    case BackendChoice::kSparse:
       return "sparse";
-    case SimBackend::kAuto:
+    case BackendChoice::kAuto:
       return "auto";
   }
   return "auto";
@@ -284,6 +284,21 @@ void validateScenario(const ScenarioSpec& spec) {
         "' supports objective=broadcast)");
   }
 
+  // Batching advances replicate lanes of one oblivious adversary through
+  // a shared BatchBroadcastSim, which only the runSweep broadcast-tree
+  // path does. An explicit width elsewhere would be silently ignored, so
+  // reject it; auto degrades to scalar without complaint.
+  if (spec.batch.mode == BatchPolicy::Mode::kFixed &&
+      (entry.mode != DynamicsMode::kAdversaryTrees ||
+       spec.objective == Objective::kGossip)) {
+    throw std::invalid_argument(
+        "scenario: batch=" + batchPolicyName(spec.batch) +
+        " only applies to objective=broadcast over adversary-driven tree "
+        "dynamics (got dynamics '" + dynamics.name + "', objective=" +
+        objectiveName(spec.objective) +
+        "); use batch=auto or batch=off");
+  }
+
   if (entry.mode == DynamicsMode::kGraphModel) {
     // The model emits every round's graph itself; an adversary has no
     // move to make, so listing one is a spec error, not a no-op.
@@ -294,7 +309,7 @@ void validateScenario(const ScenarioSpec& spec) {
           "the adversary list must be empty (got '" + spec.adversaries[0] +
           "')");
     }
-    if (spec.backend == SimBackend::kSparse && !entry.sparseCapable) {
+    if (spec.backend == BackendChoice::kSparse && !entry.sparseCapable) {
       std::string capable;
       for (const std::string& name : dynRegistry.names()) {
         if (!dynRegistry.info(name).sparseCapable) continue;
@@ -310,7 +325,7 @@ void validateScenario(const ScenarioSpec& spec) {
   }
 
   if (entry.mode == DynamicsMode::kGeneratorList) {
-    if (spec.backend == SimBackend::kSparse) {
+    if (spec.backend == BackendChoice::kSparse) {
       throw std::invalid_argument(
           "backend=sparse is not supported under the deprecated '" +
           dynamics.name +
@@ -323,7 +338,7 @@ void validateScenario(const ScenarioSpec& spec) {
     return;
   }
 
-  if (spec.backend == SimBackend::kSparse) {
+  if (spec.backend == BackendChoice::kSparse) {
     throw std::invalid_argument(
         "dynamics '" + dynamics.name +
         "' is adversary-driven: the adversary reads the full dense "
@@ -377,6 +392,7 @@ ScenarioResult runScenario(const ScenarioSpec& spec,
   sweep.seedsPerSize = spec.seedsPerSize;
   sweep.roundCap = spec.roundCap;
   sweep.recordHistory = spec.recordHistory;
+  sweep.batch = spec.batch;
   sweep.portfolio = [specs](std::size_t n, std::uint64_t seed) {
     return membersFromSpecs(specs, n, seed);
   };

@@ -43,7 +43,7 @@ enum class Objective { kBroadcast, kGossip };
 /// history is wanted, dense otherwise. Rows are backend-invariant at
 /// n ≤ kAutoSparseThreshold (sparse generation mirrors dense there), so
 /// golden CSVs hold across backends.
-enum class SimBackend { kDense, kSparse, kAuto };
+enum class BackendChoice { kDense, kSparse, kAuto };
 
 /// Auto switches to sparse strictly above this size. Equal to the
 /// dynamics layer's kSparseDenseMirrorMaxN (static_assert'd in
@@ -51,8 +51,8 @@ enum class SimBackend { kDense, kSparse, kAuto };
 /// auto choice is observable only where the dense matrix starts to hurt.
 inline constexpr std::size_t kAutoSparseThreshold = 4096;
 
-[[nodiscard]] SimBackend parseSimBackend(const std::string& text);
-[[nodiscard]] std::string simBackendName(SimBackend backend);
+[[nodiscard]] BackendChoice parseBackendChoice(const std::string& text);
+[[nodiscard]] std::string backendChoiceName(BackendChoice backend);
 
 struct ScenarioSpec {
   Objective objective = Objective::kBroadcast;
@@ -76,9 +76,14 @@ struct ScenarioSpec {
   std::vector<std::string> adversaries;
   /// Capture per-round metrics in every row (costly at large n).
   bool recordHistory = false;
-  /// Simulation engine selection (see SimBackend). kSparse requires a
+  /// Simulation engine selection (see BackendChoice). kSparse requires a
   /// sparse-capable graph-model dynamics; kAuto is always valid.
-  SimBackend backend = SimBackend::kAuto;
+  BackendChoice backend = BackendChoice::kAuto;
+  /// Replicate batching for broadcast over adversary-driven tree
+  /// dynamics (see BatchPolicy); output-invariant. An explicit batch=K
+  /// on any other objective/dynamics combination is a spec error; kAuto
+  /// silently runs scalar there.
+  BatchPolicy batch;
 };
 
 /// The default member list for a dynamics spec: the standard portfolio

@@ -1,0 +1,231 @@
+#include "src/sim/batch_sim.h"
+
+#include <bit>
+#include <cstring>
+
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+namespace {
+
+constexpr std::uint64_t kFullWord = ~static_cast<std::uint64_t>(0);
+
+}  // namespace
+
+BatchBroadcastSim::BatchBroadcastSim(std::size_t n, std::size_t width)
+    : n_(n),
+      nwords_((n + DynBitset::kBits - 1) / DynBitset::kBits),
+      capacity_(width),
+      width_(width) {
+  DYNBCAST_ASSERT(n > 0);
+  DYNBCAST_ASSERT(width > 0);
+  prev_.resize(n_ * nwords_ * capacity_);
+  next_.resize(n_ * nwords_ * capacity_);
+  common_.resize(nwords_ * capacity_);
+  commonCount_.resize(capacity_);
+  laneOrigin_.resize(capacity_);
+  reset();
+}
+
+void BatchBroadcastSim::reset() {
+  width_ = capacity_;
+  round_ = 0;
+  for (std::size_t b = 0; b < capacity_; ++b) laneOrigin_[b] = b;
+  std::memset(prev_.data(), 0, prev_.size() * sizeof(std::uint64_t));
+  for (std::size_t y = 0; y < n_; ++y) {
+    const std::uint64_t bit = static_cast<std::uint64_t>(1)
+                              << (y % DynBitset::kBits);
+    std::uint64_t* plane =
+        prev_.data() + (y * nwords_ + y / DynBitset::kBits) * width_;
+    for (std::size_t b = 0; b < width_; ++b) plane[b] |= bit;
+  }
+  rebuildCompletionState();
+}
+
+void BatchBroadcastSim::rebuildCompletionState() {
+  // common = ⋂_y Heard(y), lane-plane at a time. Start from all-ones
+  // with the tail invariant applied per word plane.
+  const std::size_t tail = n_ % DynBitset::kBits;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    const std::uint64_t value =
+        (w + 1 == nwords_ && tail != 0)
+            ? (static_cast<std::uint64_t>(1) << tail) - 1
+            : kFullWord;
+    std::uint64_t* plane = common_.data() + w * width_;
+    for (std::size_t b = 0; b < width_; ++b) plane[b] = value;
+  }
+  for (std::size_t y = 0; y < n_; ++y) {
+    bitword::andAssign(common_.data(), prevRow(y), planeWords());
+  }
+  for (std::size_t b = 0; b < width_; ++b) {
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < nwords_; ++w) {
+      c += static_cast<std::size_t>(std::popcount(common_[w * width_ + b]));
+    }
+    commonCount_[b] = c;
+  }
+}
+
+void BatchBroadcastSim::finishRound() {
+  prev_.swap(next_);
+  for (std::size_t b = 0; b < width_; ++b) {
+    std::size_t c = 0;
+    for (std::size_t w = 0; w < nwords_; ++w) {
+      c += static_cast<std::size_t>(std::popcount(common_[w * width_ + b]));
+    }
+    commonCount_[b] = c;
+  }
+  ++round_;
+}
+
+void BatchBroadcastSim::applyTree(const RootedTree& tree) {
+  DYNBCAST_ASSERT_MSG(tree.size() == n_, "tree size mismatch");
+  DYNBCAST_ASSERT(width_ > 0);
+  // Double-buffered recurrence, whole lane-plane at a time. No BFS
+  // ordering is needed (unlike the in-place scalar pass): every next
+  // row reads only prev rows. The running intersection folds in fused.
+  const std::size_t pw = planeWords();
+  const std::size_t tail = n_ % DynBitset::kBits;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    const std::uint64_t value =
+        (w + 1 == nwords_ && tail != 0)
+            ? (static_cast<std::uint64_t>(1) << tail) - 1
+            : kFullWord;
+    std::uint64_t* plane = common_.data() + w * width_;
+    for (std::size_t b = 0; b < width_; ++b) plane[b] = value;
+  }
+  for (std::size_t y = 0; y < n_; ++y) {
+    const std::size_t p = tree.parent(y);
+    std::uint64_t* next = nextRow(y);
+    if (p != y) {
+      bitword::orInto(next, prevRow(y), prevRow(p), pw);
+    } else {
+      std::memcpy(next, prevRow(y), pw * sizeof(std::uint64_t));
+    }
+    bitword::andAssign(common_.data(), next, pw);
+  }
+  finishRound();
+}
+
+void BatchBroadcastSim::applyTrees(const std::vector<const RootedTree*>& trees) {
+  DYNBCAST_ASSERT_MSG(trees.size() == width_,
+                      "one tree per live lane required");
+  for (const RootedTree* t : trees) {
+    DYNBCAST_ASSERT_MSG(t != nullptr && t->size() == n_,
+                        "tree size mismatch");
+  }
+  const std::size_t pw = planeWords();
+  const std::size_t tail = n_ % DynBitset::kBits;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    const std::uint64_t value =
+        (w + 1 == nwords_ && tail != 0)
+            ? (static_cast<std::uint64_t>(1) << tail) - 1
+            : kFullWord;
+    std::uint64_t* plane = common_.data() + w * width_;
+    for (std::size_t b = 0; b < width_; ++b) plane[b] = value;
+  }
+  for (std::size_t y = 0; y < n_; ++y) {
+    const std::uint64_t* prevY = prevRow(y);
+    std::uint64_t* next = nextRow(y);
+    // Lanes diverge: gather each lane's parent row with stride width_.
+    // The traversal (and the common fold below) still amortize.
+    for (std::size_t b = 0; b < width_; ++b) {
+      const std::size_t p = trees[b]->parent(y);
+      if (p != y) {
+        const std::uint64_t* prevP = prevRow(p);
+        for (std::size_t w = 0; w < nwords_; ++w) {
+          next[w * width_ + b] = prevY[w * width_ + b] | prevP[w * width_ + b];
+        }
+      } else {
+        for (std::size_t w = 0; w < nwords_; ++w) {
+          next[w * width_ + b] = prevY[w * width_ + b];
+        }
+      }
+    }
+    bitword::andAssign(common_.data(), next, pw);
+  }
+  finishRound();
+}
+
+void BatchBroadcastSim::applyGraph(const BitMatrix& g) {
+  DYNBCAST_ASSERT_MSG(g.dim() == n_, "graph size mismatch");
+  DYNBCAST_ASSERT_MSG(g.isReflexive(),
+                      "model requires self-loops (no forgetting)");
+  const std::size_t pw = planeWords();
+  std::memcpy(next_.data(), prev_.data(),
+              n_ * pw * sizeof(std::uint64_t));
+  for (std::size_t x = 0; x < n_; ++x) {
+    const DynBitset& row = g.row(x);
+    for (std::size_t y = row.findFirst(); y < n_; y = row.findNext(y + 1)) {
+      if (y != x) bitword::orAssign(nextRow(y), prevRow(x), pw);
+    }
+  }
+  prev_.swap(next_);
+  ++round_;
+  rebuildCompletionState();
+}
+
+std::size_t BatchBroadcastSim::heardCount(std::size_t lane,
+                                          std::size_t y) const noexcept {
+  const std::uint64_t* row = prevRow(y);
+  std::size_t c = 0;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    c += static_cast<std::size_t>(std::popcount(row[w * width_ + lane]));
+  }
+  return c;
+}
+
+bool BatchBroadcastSim::gossipDone(std::size_t lane) const noexcept {
+  for (std::size_t y = 0; y < n_; ++y) {
+    if (heardCount(lane, y) != n_) return false;
+  }
+  return true;
+}
+
+std::vector<DynBitset> BatchBroadcastSim::heardMatrix(std::size_t lane) const {
+  std::vector<DynBitset> heard(n_, DynBitset(n_));
+  for (std::size_t y = 0; y < n_; ++y) {
+    const std::uint64_t* row = prevRow(y);
+    std::uint64_t* dst = heard[y].wordData();
+    for (std::size_t w = 0; w < nwords_; ++w) {
+      dst[w] = row[w * width_ + lane];
+    }
+  }
+  return heard;
+}
+
+std::vector<std::size_t> BatchBroadcastSim::retireBroadcastDone() {
+  std::vector<std::size_t> retired;
+  std::vector<std::size_t>& keep = keepScratch_;
+  keep.clear();
+  for (std::size_t b = 0; b < width_; ++b) {
+    if (broadcastDone(b)) {
+      retired.push_back(laneOrigin_[b]);
+    } else {
+      keep.push_back(b);
+    }
+  }
+  if (retired.empty()) return retired;
+  const std::size_t newWidth = keep.size();
+  if (newWidth != 0) {
+    // In-place forward compaction of the interleaved planes: for every
+    // word plane r, dst index r*newWidth + j ≤ src index
+    // r*width_ + keep[j] (newWidth ≤ width_, j ≤ keep[j]), and the only
+    // equality case reads before it writes — so narrowing the stride
+    // front to back never clobbers unread data.
+    for (std::size_t r = 0; r < n_ * nwords_; ++r) {
+      const std::uint64_t* src = prev_.data() + r * width_;
+      std::uint64_t* dst = prev_.data() + r * newWidth;
+      for (std::size_t j = 0; j < newWidth; ++j) dst[j] = src[keep[j]];
+    }
+    for (std::size_t j = 0; j < newWidth; ++j) {
+      commonCount_[j] = commonCount_[keep[j]];
+      laneOrigin_[j] = laneOrigin_[keep[j]];
+    }
+  }
+  width_ = newWidth;
+  return retired;
+}
+
+}  // namespace dynbcast

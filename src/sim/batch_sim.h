@@ -1,0 +1,146 @@
+// BatchBroadcastSim: a struct-of-arrays simulator advancing B replicate
+// instances of the broadcast model in lockstep, one round at a time.
+//
+// Layout: the heard-of matrices of all lanes are interleaved word plane
+// by word plane — word w of row y of lane b lives at
+//   words[(y * nwords + w) * width + b],
+// so "the same word across every lane" is contiguous. A round's
+// recurrence then runs over whole lane-planes: when all lanes apply the
+// SAME tree (the common case for deterministic adversaries and the
+// reason batching pays), row y's update is ONE contiguous
+// nwords×width-word OR through the bitword SIMD dispatch table, with the
+// tree decoded once instead of once per replicate. Per-lane trees fall
+// back to a strided gather that still shares the traversal.
+//
+// The recurrence is double-buffered (next = prev_row | prev_parent).
+// Because Heard_{t+1}(y) depends only on round-t values, this computes
+// exactly the matrix BroadcastSim's in-place reverse-BFS pass computes —
+// the whole batched path is bit-identical to B scalar runs, which the
+// sweep goldens rely on.
+//
+// Completion: the running intersection ⋂_y Heard(y) is maintained as one
+// interleaved lane-plane, AND-folded during the same pass that applies
+// the round; per-lane popcounts of it land in commonCount so
+// broadcastDone(lane) is O(1). Finished lanes retire via
+// retireBroadcastDone(), which compacts the surviving lane columns
+// in place (narrowing the stride) so later rounds do no dead work;
+// originalLane() maps live positions back to constructed ones.
+//
+// A width-1 batch IS a BroadcastSim: the single-argument surface
+// (heardCount(y) / broadcastDone() / gossipDone()) reads lane 0, which
+// is how the class satisfies the SimBackend concept (sim_backend.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/bitmatrix.h"
+#include "src/support/bitset.h"
+#include "src/tree/rooted_tree.h"
+
+namespace dynbcast {
+
+class BatchBroadcastSim {
+ public:
+  /// `width` lanes of n processes each, all at the identity state.
+  BatchBroadcastSim(std::size_t n, std::size_t width);
+
+  [[nodiscard]] std::size_t processCount() const noexcept { return n_; }
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+
+  /// Live (unretired) lanes. Lane arguments below index THIS range.
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+  /// Lanes the batch was constructed with.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// The constructed-time index of live lane `lane` (retirement compacts
+  /// lanes, so live positions shift).
+  [[nodiscard]] std::size_t originalLane(std::size_t lane) const noexcept {
+    return laneOrigin_[lane];
+  }
+
+  /// Applies one synchronous round of `tree` to EVERY live lane — the
+  /// fused contiguous fast path.
+  void applyTree(const RootedTree& tree);
+
+  /// Applies one round with a per-lane tree (trees.size() == width()):
+  /// the strided path for randomized adversaries whose lanes diverge.
+  void applyTrees(const std::vector<const RootedTree*>& trees);
+
+  /// Applies one round along a reflexive directed graph, same graph for
+  /// every lane (SimBackend surface parity with BroadcastSim).
+  void applyGraph(const BitMatrix& g);
+
+  /// |Heard(y)| in lane `lane`: an O(n/64) strided popcount on demand —
+  /// the batch keeps no per-row counters (unlike BroadcastSim, it only
+  /// ever needs completion, which the common plane answers).
+  [[nodiscard]] std::size_t heardCount(std::size_t lane,
+                                       std::size_t y) const noexcept;
+
+  /// True when some process in lane `lane` has been heard by everyone.
+  /// O(1): reads the per-lane popcount of the common plane.
+  [[nodiscard]] bool broadcastDone(std::size_t lane) const noexcept {
+    return commonCount_[lane] != 0;
+  }
+
+  /// True when everyone in lane `lane` heard everyone: an O(n²/64)
+  /// on-demand scan (batched drivers only ever poll broadcastDone).
+  [[nodiscard]] bool gossipDone(std::size_t lane) const noexcept;
+
+  /// Lane-0 surface, making a width-1 batch a drop-in BroadcastSim.
+  [[nodiscard]] std::size_t heardCount(std::size_t y) const noexcept {
+    return heardCount(0, y);
+  }
+  [[nodiscard]] bool broadcastDone() const noexcept {
+    return broadcastDone(0);
+  }
+  [[nodiscard]] bool gossipDone() const noexcept { return gossipDone(0); }
+
+  /// Copies lane `lane`'s heard-of matrix out of the interleaved planes
+  /// (tests cross-validate against BroadcastSim with this).
+  [[nodiscard]] std::vector<DynBitset> heardMatrix(std::size_t lane) const;
+
+  /// Compacts out every live lane whose broadcast is done; returns their
+  /// ORIGINAL lane indices, ascending. Call after each round; the round
+  /// counter at that point is the retired lanes' t*.
+  std::vector<std::size_t> retireBroadcastDone();
+
+  /// Returns every lane (original width) to the round-0 identity state.
+  void reset();
+
+ private:
+  [[nodiscard]] std::size_t planeWords() const noexcept {
+    return nwords_ * width_;
+  }
+  [[nodiscard]] const std::uint64_t* prevRow(std::size_t y) const noexcept {
+    return prev_.data() + y * planeWords();
+  }
+  [[nodiscard]] std::uint64_t* nextRow(std::size_t y) noexcept {
+    return next_.data() + y * planeWords();
+  }
+
+  /// Post-round bookkeeping shared by the apply paths: swap buffers,
+  /// refresh per-lane common counts, bump the round counter.
+  void finishRound();
+
+  /// Rebuilds the common plane + counts from prev_ (reset/applyGraph).
+  void rebuildCompletionState();
+
+  std::size_t n_;
+  std::size_t nwords_;   // words per row per lane
+  std::size_t capacity_; // constructed lane count
+  std::size_t width_;    // live lane count (≤ capacity_)
+  std::size_t round_ = 0;
+  // Interleaved heard planes, n_*nwords_*width_ words each, stride
+  // width_ (narrowed in place on retirement).
+  std::vector<std::uint64_t> prev_;
+  std::vector<std::uint64_t> next_;
+  // Interleaved ⋂_y Heard(y) plane, nwords_*width_ words.
+  std::vector<std::uint64_t> common_;
+  std::vector<std::size_t> commonCount_;  // per live lane
+  std::vector<std::size_t> laneOrigin_;  // live lane -> constructed lane
+  std::vector<std::size_t> keepScratch_; // reused retirement buffer
+};
+
+}  // namespace dynbcast

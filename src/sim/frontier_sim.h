@@ -12,9 +12,10 @@
 // counts, so the differential suite can demand bit-for-bit agreement
 // with BroadcastSim:
 //
-//   * FrontierSim — a full-state engine mirroring BroadcastSim's public
-//     surface (applyTree/applyGraph/applyEdges, heardCount, broadcast /
-//     gossip completion, metrics). Completion is incremental: per-node
+//   * FrontierSim — a full-state engine satisfying the SimBackend
+//     concept (src/sim/sim_backend.h; conformance is static_asserted in
+//     tests), plus applyEdges and metrics. Completion is incremental:
+//     per-node
 //     coverage counters c_x = |{y : x ∈ Heard(y)}| are bumped O(1) per
 //     insertion (the heard-of state is monotone, so insertions are
 //     permanent), making broadcastDone() O(1). Rows collapse to an

@@ -35,6 +35,34 @@ void ProcessSim::applyTree(const RootedTree& tree) {
   ++round_;
 }
 
+void ProcessSim::applyGraph(const BitMatrix& g) {
+  DYNBCAST_ASSERT_MSG(g.dim() == processCount(), "graph size mismatch");
+  DYNBCAST_ASSERT_MSG(g.isReflexive(),
+                      "model requires self-loops (no forgetting)");
+  std::vector<Message> network;
+  for (const Process& p : processes_) {
+    const DynBitset& row = g.row(p.id);
+    for (std::size_t y = row.findFirst(); y < processCount();
+         y = row.findNext(y + 1)) {
+      if (y != p.id) network.push_back(Message{p.id, y, p.knowledge});
+    }
+  }
+  for (const Message& msg : network) {
+    auto& knowledge = processes_[msg.receiver].knowledge;
+    knowledge.insert(msg.payload.begin(), msg.payload.end());
+  }
+  totalMessages_ += network.size();
+  delivered_ = std::move(network);
+  ++round_;
+}
+
+void ProcessSim::reset() {
+  for (Process& p : processes_) p.knowledge = {p.id};
+  delivered_.clear();
+  totalMessages_ = 0;
+  round_ = 0;
+}
+
 std::set<std::size_t> ProcessSim::knownToAll() const {
   std::set<std::size_t> common = processes_.front().knowledge;
   for (std::size_t id = 1; id < processes_.size() && !common.empty(); ++id) {

@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "src/graph/bitmatrix.h"
 #include "src/tree/rooted_tree.h"
 
 namespace dynbcast {
@@ -51,9 +52,23 @@ class ProcessSim {
   /// composed from start-of-round knowledge), delivery, then merge phase.
   void applyTree(const RootedTree& tree);
 
+  /// One round along an arbitrary reflexive directed graph: a message
+  /// travels every edge (x, y), x ≠ y, again composed from start-of-round
+  /// knowledge. Same delivery machinery as applyTree.
+  void applyGraph(const BitMatrix& g);
+
   [[nodiscard]] const Process& process(std::size_t id) const {
     return processes_[id];
   }
+
+  /// |knowledge(y)| — the literal counterpart of BroadcastSim's
+  /// heard-of row popcount.
+  [[nodiscard]] std::size_t heardCount(std::size_t y) const noexcept {
+    return processes_[y].knowledge.size();
+  }
+
+  /// Returns to round 0 (every process knows only itself).
+  void reset();
 
   /// Ids known to everyone (broadcast certificate set).
   [[nodiscard]] std::set<std::size_t> knownToAll() const;

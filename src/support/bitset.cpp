@@ -5,30 +5,6 @@
 
 namespace dynbcast {
 
-namespace bitword {
-
-std::size_t orCount(std::uint64_t* dst, const std::uint64_t* src,
-                    std::size_t nwords) noexcept {
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < nwords; ++i) {
-    dst[i] |= src[i];
-    c += static_cast<std::size_t>(std::popcount(dst[i]));
-  }
-  return c;
-}
-
-std::size_t andAssignCount(std::uint64_t* dst, const std::uint64_t* src,
-                           std::size_t nwords) noexcept {
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < nwords; ++i) {
-    dst[i] &= src[i];
-    c += static_cast<std::size_t>(std::popcount(dst[i]));
-  }
-  return c;
-}
-
-}  // namespace bitword
-
 void DynBitset::setAll() noexcept {
   for (auto& w : words_) w = ~static_cast<std::uint64_t>(0);
   const std::size_t tail = size_ % kBits;

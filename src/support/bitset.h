@@ -29,24 +29,102 @@ namespace dynbcast {
 /// These exist as free functions (rather than DynBitset methods only) so
 /// the adversary evaluation kernels can fuse several passes — OR + popcount,
 /// AND + any — into one traversal without materializing temporaries.
+///
+/// Spans at or above kDispatchMinWords route through a runtime-dispatched
+/// kernel table (see dispatch() below) with AVX2/AVX-512 variants selected
+/// once per process via cpuid; shorter spans keep the plain scalar loop,
+/// which the compiler already handles well and which avoids an indirect
+/// call on the small-n hot path. Every variant computes identical results
+/// word for word — dispatch changes throughput, never bits.
 namespace bitword {
+
+/// Instruction-set tier of a kernel table. kScalar is always available;
+/// the vector tiers are used only when cpuid says the CPU (and OS) can
+/// run them. Setting the DYNBCAST_FORCE_SCALAR environment variable (to
+/// anything but "0" / empty) before first use pins the process to
+/// kScalar — the testing escape hatch for the non-AVX path.
+enum class SimdLevel { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+[[nodiscard]] const char* simdLevelName(SimdLevel level) noexcept;
+
+/// A resolved kernel table: one function pointer per bulk operation, all
+/// drop-in equivalent to the scalar loops below.
+struct Kernels {
+  void (*orAssign)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t nwords) noexcept;
+  std::size_t (*orCount)(std::uint64_t* dst, const std::uint64_t* src,
+                         std::size_t nwords) noexcept;
+  std::size_t (*andAssignCount)(std::uint64_t* dst, const std::uint64_t* src,
+                                std::size_t nwords) noexcept;
+  bool (*intersectAny)(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t nwords) noexcept;
+  /// dst = a | b (three-operand OR): the batched simulator's
+  /// double-buffered recurrence writes next = prev_row | prev_parent.
+  void (*orInto)(std::uint64_t* dst, const std::uint64_t* a,
+                 const std::uint64_t* b, std::size_t nwords) noexcept;
+  /// dst &= src without the fused count (the batch common-plane pass
+  /// defers per-lane popcounts to end of round).
+  void (*andAssign)(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t nwords) noexcept;
+  SimdLevel level;
+  const char* name;
+};
+
+/// True when the running CPU and OS can execute `level`'s kernels.
+/// kScalar is always true; kAvx512 additionally requires avx512f,
+/// avx512bw, and avx512vpopcntdq.
+[[nodiscard]] bool simdSupported(SimdLevel level) noexcept;
+
+/// The kernel table for `level`, falling back to the scalar table when
+/// the level is not supported on this machine (check the returned
+/// .level to see what you actually got).
+[[nodiscard]] const Kernels& kernelsFor(SimdLevel level) noexcept;
+
+/// Re-resolves the tier from DYNBCAST_FORCE_SCALAR + cpuid on every
+/// call. dispatch() snapshots this once; tests that flip the environment
+/// variable mid-process use this directly.
+[[nodiscard]] SimdLevel resolveSimdLevel() noexcept;
+
+/// The process-wide kernel table, resolved on first use and constant
+/// afterwards. All wrappers below route large spans through it.
+[[nodiscard]] const Kernels& dispatch() noexcept;
+
+/// Spans shorter than this many words bypass the dispatch table: at
+/// n ≤ 1024 bits the indirect call would cost more than the vector
+/// width buys, and small-n sweeps dominate the test matrix.
+inline constexpr std::size_t kDispatchMinWords = 16;
 
 /// dst |= src, word by word.
 inline void orAssign(std::uint64_t* dst, const std::uint64_t* src,
                      std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) {
+    dispatch().orAssign(dst, src, nwords);
+    return;
+  }
   for (std::size_t i = 0; i < nwords; ++i) dst[i] |= src[i];
 }
 
 /// Fused dst |= src + popcount(dst): one traversal instead of an OR pass
 /// followed by a count pass. Returns the number of set bits in dst after
 /// the OR.
-[[nodiscard]] std::size_t orCount(std::uint64_t* dst, const std::uint64_t* src,
-                                  std::size_t nwords) noexcept;
+[[nodiscard]] inline std::size_t orCount(std::uint64_t* dst,
+                                         const std::uint64_t* src,
+                                         std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) return dispatch().orCount(dst, src, nwords);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    dst[i] |= src[i];
+    c += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return c;
+}
 
 /// True when (a & b) has any set bit; early-exits on the first hit.
 [[nodiscard]] inline bool intersectAny(const std::uint64_t* a,
                                        const std::uint64_t* b,
                                        std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) return dispatch().intersectAny(a, b, nwords);
   for (std::size_t i = 0; i < nwords; ++i) {
     if ((a[i] & b[i]) != 0) return true;
   }
@@ -57,9 +135,39 @@ inline void orAssign(std::uint64_t* dst, const std::uint64_t* src,
 /// incremental-completion pass intersects each updated row into the
 /// running ⋂_y Heard(y) with this, so the broadcaster count is known the
 /// moment the round ends.
-[[nodiscard]] std::size_t andAssignCount(std::uint64_t* dst,
-                                         const std::uint64_t* src,
-                                         std::size_t nwords) noexcept;
+[[nodiscard]] inline std::size_t andAssignCount(std::uint64_t* dst,
+                                                const std::uint64_t* src,
+                                                std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) {
+    return dispatch().andAssignCount(dst, src, nwords);
+  }
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    dst[i] &= src[i];
+    c += static_cast<std::size_t>(std::popcount(dst[i]));
+  }
+  return c;
+}
+
+/// dst = a | b, word by word (dst may alias a or b).
+inline void orInto(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) {
+    dispatch().orInto(dst, a, b, nwords);
+    return;
+  }
+  for (std::size_t i = 0; i < nwords; ++i) dst[i] = a[i] | b[i];
+}
+
+/// dst &= src, word by word.
+inline void andAssign(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t nwords) noexcept {
+  if (nwords >= kDispatchMinWords) {
+    dispatch().andAssign(dst, src, nwords);
+    return;
+  }
+  for (std::size_t i = 0; i < nwords; ++i) dst[i] &= src[i];
+}
 
 /// Invokes fn(index) for every bit set in (a & ~b), ascending — the
 /// "delta iteration" of candidate evaluation, with no temporary bitset.

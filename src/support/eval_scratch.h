@@ -32,6 +32,17 @@ struct EvalScratch {
   /// Reused BFS-order buffer.
   std::vector<std::size_t> order;
 
+  /// The one sanctioned constructor: a scratch pre-sized for n-process
+  /// evaluation, so even the FIRST evaluateCandidate call at this n is
+  /// allocation-free. Every search adversary builds its scratch here.
+  [[nodiscard]] static EvalScratch forProcessCount(std::size_t n) {
+    EvalScratch scratch;
+    scratch.heard.assign(n, DynBitset(n));
+    scratch.coverage.assign(n, 0);
+    scratch.order.reserve(n);
+    return scratch;
+  }
+
   /// Copies `src` into `heard`, reusing existing row storage.
   void assignHeard(const std::vector<DynBitset>& src) {
     heard.resize(src.size());

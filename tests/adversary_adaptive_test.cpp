@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <set>
 
@@ -266,14 +267,51 @@ TEST_P(AdaptiveUpperBoundSweep, NoAdversaryExceedsTheorem31) {
 INSTANTIATE_TEST_SUITE_P(Sizes, AdaptiveUpperBoundSweep,
                          ::testing::Values(2, 3, 4, 6, 8, 12, 20, 40, 64));
 
-// --- scratch arena vs legacy allocation path --------------------------
+// --- scratch arena vs reference oracle --------------------------------
 //
-// evaluateCandidate has two implementations: the historical allocating
-// one (the perf harness's A/B reference, enabled by setLegacyEvalMode)
-// and the scratch-arena word-kernel one. They must agree bit-for-bit on
-// every field and on the post-move state, at word-boundary sizes too.
+// evaluateCandidate's word kernels are checked against a test-local
+// textbook implementation (fresh heard copy, per-node delta bitsets —
+// the allocating shape the arena replaced). They must agree bit-for-bit
+// on every field and on the post-move state, at word-boundary sizes too.
 
-TEST(EvalScratchTest, ArenaAgreesWithLegacyImplementation) {
+/// The obviously-correct reference: apply the tree to a copied matrix,
+/// counting coverage bumps per freshly-learned process. Same fp sum
+/// order as the kernel path (ascending bits per node, reverse BFS), so
+/// `potential` must match exactly, not approximately.
+DelayScore referenceEvaluateCandidate(const std::vector<DynBitset>& heard,
+                                      const std::vector<std::size_t>& coverage,
+                                      const RootedTree& tree,
+                                      std::vector<DynBitset>* heardOut,
+                                      std::vector<std::size_t>* coverageOut) {
+  const std::size_t n = heard.size();
+  std::vector<std::size_t> cov = coverage;
+  DelayScore score;
+  std::vector<DynBitset> work = heard;
+  const std::vector<std::size_t> order = tree.bfsOrder();
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::size_t y = order[i];
+    const std::size_t p = tree.parent(y);
+    if (p == y) continue;
+    DynBitset delta = work[p];
+    delta.subtract(work[y]);
+    for (std::size_t x = delta.findFirst(); x < n; x = delta.findNext(x + 1)) {
+      ++cov[x];
+      ++score.newEdges;
+    }
+    work[y].orWith(work[p]);
+  }
+  for (const std::size_t c : cov) {
+    score.maxCoverage = std::max(score.maxCoverage, c);
+    if (c == n) score.finishes = true;
+    score.potential +=
+        std::exp2(static_cast<double>(std::min<std::size_t>(c, 50)));
+  }
+  if (heardOut != nullptr) *heardOut = std::move(work);
+  if (coverageOut != nullptr) *coverageOut = std::move(cov);
+  return score;
+}
+
+TEST(EvalScratchTest, ArenaAgreesWithReferenceImplementation) {
   Rng rng(31337);
   for (const std::size_t n : {2u, 5u, 63u, 64u, 65u, 90u}) {
     // A mid-game state: a few random rounds from the identity.
@@ -281,43 +319,51 @@ TEST(EvalScratchTest, ArenaAgreesWithLegacyImplementation) {
     for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
     const std::vector<DynBitset>& heard = sim.heardMatrix();
     const std::vector<std::size_t> coverage = coverageCounts(sim);
-    EvalScratch scratch;
+    EvalScratch scratch = EvalScratch::forProcessCount(n);
     for (int c = 0; c < 10; ++c) {
       const RootedTree tree = randomRootedTree(n, rng);
-      setLegacyEvalMode(true);
-      const DelayScore legacy = evaluateCandidate(heard, coverage, tree,
-                                                  scratch);
-      const std::vector<DynBitset> legacyHeard = scratch.heard;
-      const std::vector<std::size_t> legacyCoverage = scratch.coverage;
-      setLegacyEvalMode(false);
+      std::vector<DynBitset> refHeard;
+      std::vector<std::size_t> refCoverage;
+      const DelayScore ref = referenceEvaluateCandidate(
+          heard, coverage, tree, &refHeard, &refCoverage);
       const DelayScore arena = evaluateCandidate(heard, coverage, tree,
                                                  scratch);
-      EXPECT_EQ(arena.finishes, legacy.finishes);
-      EXPECT_EQ(arena.potential, legacy.potential);  // same fp sum order
-      EXPECT_EQ(arena.maxCoverage, legacy.maxCoverage);
-      EXPECT_EQ(arena.newEdges, legacy.newEdges);
-      EXPECT_EQ(scratch.heard, legacyHeard);
-      EXPECT_EQ(scratch.coverage, legacyCoverage);
+      EXPECT_EQ(arena.finishes, ref.finishes);
+      EXPECT_EQ(arena.potential, ref.potential);  // same fp sum order
+      EXPECT_EQ(arena.maxCoverage, ref.maxCoverage);
+      EXPECT_EQ(arena.newEdges, ref.newEdges);
+      EXPECT_EQ(scratch.heard, refHeard);
+      EXPECT_EQ(scratch.coverage, refCoverage);
     }
   }
 }
 
-TEST(EvalScratchTest, DamageTreesIdenticalInBothModes) {
-  // buildDamageGreedyTree's edge-cost sums must be identical fp values in
-  // both modes, hence identical trees.
-  Rng rng(4242);
-  for (const std::size_t n : {3u, 17u, 65u}) {
-    BroadcastSim sim(n);
-    for (int r = 0; r < 2; ++r) sim.applyTree(randomRootedTree(n, rng));
-    const std::vector<std::size_t> coverage = coverageCounts(sim);
-    for (std::size_t root = 0; root < std::min<std::size_t>(n, 4); ++root) {
-      setLegacyEvalMode(true);
-      const RootedTree legacy = buildDamageGreedyTree(sim, coverage, root);
-      setLegacyEvalMode(false);
-      const RootedTree arena = buildDamageGreedyTree(sim, coverage, root);
-      EXPECT_EQ(arena, legacy) << "n=" << n << " root=" << root;
-    }
-  }
+TEST(EvalScratchTest, FactoryScratchMatchesDefaultConstructed) {
+  // forProcessCount pre-sizes the buffers; results must not depend on
+  // whether the scratch arrived pre-sized, freshly default-constructed,
+  // or sized for a DIFFERENT n by a previous evaluation.
+  Rng rng(777);
+  const std::size_t n = 33;
+  BroadcastSim sim(n);
+  for (int r = 0; r < 3; ++r) sim.applyTree(randomRootedTree(n, rng));
+  const std::vector<std::size_t> coverage = coverageCounts(sim);
+  const RootedTree tree = randomRootedTree(n, rng);
+  EvalScratch sized = EvalScratch::forProcessCount(n);
+  EvalScratch fresh;
+  EvalScratch wrongSize = EvalScratch::forProcessCount(65);
+  const DelayScore a =
+      evaluateCandidate(sim.heardMatrix(), coverage, tree, sized);
+  const DelayScore b =
+      evaluateCandidate(sim.heardMatrix(), coverage, tree, fresh);
+  const DelayScore c =
+      evaluateCandidate(sim.heardMatrix(), coverage, tree, wrongSize);
+  EXPECT_EQ(a.potential, b.potential);
+  EXPECT_EQ(a.potential, c.potential);
+  EXPECT_EQ(a.newEdges, b.newEdges);
+  EXPECT_EQ(a.newEdges, c.newEdges);
+  EXPECT_EQ(sized.heard, fresh.heard);
+  EXPECT_EQ(sized.heard, wrongSize.heard);
+  EXPECT_EQ(sized.coverage, fresh.coverage);
 }
 
 TEST(EvalScratchTest, WrapperMatchesScratchOverload) {
@@ -332,7 +378,7 @@ TEST(EvalScratchTest, WrapperMatchesScratchOverload) {
   std::vector<std::size_t> covOut;
   const DelayScore viaWrapper =
       evaluateCandidate(sim.heardMatrix(), coverage, tree, &covOut);
-  EvalScratch scratch;
+  EvalScratch scratch = EvalScratch::forProcessCount(n);
   const DelayScore viaScratch =
       evaluateCandidate(sim.heardMatrix(), coverage, tree, scratch);
   EXPECT_EQ(viaWrapper.potential, viaScratch.potential);

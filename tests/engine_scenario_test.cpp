@@ -343,14 +343,14 @@ TEST(ScenarioTest, GraphModelHistoryIsRecordedOnDemand) {
 }
 
 TEST(ScenarioVocabularyTest, BackendParseAndPrintRoundTrip) {
-  EXPECT_EQ(parseSimBackend("dense"), SimBackend::kDense);
-  EXPECT_EQ(parseSimBackend("sparse"), SimBackend::kSparse);
-  EXPECT_EQ(parseSimBackend("auto"), SimBackend::kAuto);
-  EXPECT_EQ(simBackendName(SimBackend::kDense), "dense");
-  EXPECT_EQ(simBackendName(SimBackend::kSparse), "sparse");
-  EXPECT_EQ(simBackendName(SimBackend::kAuto), "auto");
+  EXPECT_EQ(parseBackendChoice("dense"), BackendChoice::kDense);
+  EXPECT_EQ(parseBackendChoice("sparse"), BackendChoice::kSparse);
+  EXPECT_EQ(parseBackendChoice("auto"), BackendChoice::kAuto);
+  EXPECT_EQ(backendChoiceName(BackendChoice::kDense), "dense");
+  EXPECT_EQ(backendChoiceName(BackendChoice::kSparse), "sparse");
+  EXPECT_EQ(backendChoiceName(BackendChoice::kAuto), "auto");
   try {
-    (void)parseSimBackend("spars");
+    (void)parseBackendChoice("spars");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     EXPECT_NE(std::string(e.what()).find("sparse"), std::string::npos)
@@ -373,9 +373,9 @@ TEST(ScenarioBackendTest, SparseRowsMatchDenseRowsBitForBit) {
     scenario.sizes = {8, 24, 70, 100};
     scenario.seedsPerSize = 2;
     scenario.masterSeed = 5;
-    scenario.backend = SimBackend::kDense;
+    scenario.backend = BackendChoice::kDense;
     const ScenarioResult dense = runScenario(scenario, engine);
-    scenario.backend = SimBackend::kSparse;
+    scenario.backend = BackendChoice::kSparse;
     const ScenarioResult sparse = runScenario(scenario, engine);
     ASSERT_EQ(dense.rows.size(), sparse.rows.size()) << dynamics;
     for (std::size_t i = 0; i < dense.rows.size(); ++i) {
@@ -392,9 +392,9 @@ TEST(ScenarioBackendTest, SparseHistoryMatchesDense) {
   scenario.dynamics = "edge-markovian:p=0.25,q=0.1";
   scenario.sizes = {20};
   scenario.recordHistory = true;
-  scenario.backend = SimBackend::kDense;
+  scenario.backend = BackendChoice::kDense;
   const ScenarioResult dense = runScenario(scenario, engine);
-  scenario.backend = SimBackend::kSparse;
+  scenario.backend = BackendChoice::kSparse;
   const ScenarioResult sparse = runScenario(scenario, engine);
   ASSERT_EQ(dense.rows.size(), 1u);
   ASSERT_EQ(sparse.rows.size(), 1u);
@@ -408,7 +408,7 @@ TEST(ScenarioBackendTest, SparseRowsAreBitIdenticalAcrossJobCounts) {
   scenario.sizes = {8, 24, 80};
   scenario.seedsPerSize = 2;
   scenario.masterSeed = 17;
-  scenario.backend = SimBackend::kSparse;
+  scenario.backend = BackendChoice::kSparse;
   ExperimentEngine serial({.jobs = 1});
   ExperimentEngine parallel({.jobs = 8});
   const ScenarioResult a = runScenario(scenario, serial);
@@ -437,7 +437,7 @@ TEST(ScenarioBackendTest, SparseIsRejectedWhereItCannotRun) {
     ScenarioSpec scenario;
     scenario.dynamics = c.dynamics;
     scenario.sizes = {8};
-    scenario.backend = SimBackend::kSparse;
+    scenario.backend = BackendChoice::kSparse;
     try {
       (void)runScenario(scenario, engine);
       FAIL() << "expected std::invalid_argument for " << c.dynamics;
@@ -451,7 +451,7 @@ TEST(ScenarioBackendTest, SparseIsRejectedWhereItCannotRun) {
     ScenarioSpec scenario;
     scenario.dynamics = dynamics;
     scenario.sizes = {8};
-    scenario.backend = SimBackend::kAuto;
+    scenario.backend = BackendChoice::kAuto;
     const ScenarioResult result = runScenario(scenario, engine);
     EXPECT_FALSE(result.rows.empty()) << dynamics;
   }

@@ -47,13 +47,14 @@ int usage(std::ostream& os) {
         "             [--cap=ROUNDS] [--beam-maxn=32] [--beam-width=256]\n"
         "             [--backend=dense|sparse|auto] (graph-model dynamics "
         "only)\n"
+        "             [--batch=K|auto|off] (oblivious replicate batching)\n"
         "  portfolio  general scenario runner over objective x dynamics x "
         "adversaries\n"
         "             [--objective=broadcast|gossip] [--dynamics=SPEC]\n"
         "             [--sizes=8:64:2] [--seed=1] [--seeds=R] [--jobs=N]\n"
         "             [--cap=ROUNDS] [--csv=path] [--adversaries=SPECS] "
         "[--summary]\n"
-        "             [--backend=dense|sparse|auto]\n"
+        "             [--backend=dense|sparse|auto] [--batch=K|auto|off]\n"
         "  duel       all listed adversaries fight one instance\n"
         "             [--n=32] [--seed=7] [--adversaries=SPECS] "
         "[--csv=path]\n"
@@ -141,11 +142,15 @@ int runDynamicsSweep(BenchDriver& driver, const std::string& dynamicsText,
   scenario.adversaries =
       splitSpecList(driver.options().getString("adversaries", ""));
   scenario.backend =
-      parseSimBackend(driver.options().getString("backend", "auto"));
+      parseBackendChoice(driver.options().getString("backend", "auto"));
+  // Graph-model dynamics never batch; parsing the flag anyway means an
+  // explicit --batch=K fails validation instead of being ignored.
+  scenario.batch =
+      parseBatchPolicy(driver.options().getString("batch", "auto"));
 
   driver.printHeader("SWEEP — dynamics=" +
                      DynamicsSpec::parse(dynamicsText).toString() +
-                     ", backend=" + simBackendName(scenario.backend));
+                     ", backend=" + backendChoiceName(scenario.backend));
   const ScenarioResult result = runScenario(scenario, driver.engine());
 
   TextTable table(
@@ -226,7 +231,9 @@ int runSweep(int argc, const char* const* argv) {
     // validateScenario rejects an explicit --backend=sparse with the
     // right error instead of silently ignoring the flag.
     scenario.backend =
-        parseSimBackend(driver.options().getString("backend", "auto"));
+        parseBackendChoice(driver.options().getString("backend", "auto"));
+    scenario.batch =
+        parseBatchPolicy(driver.options().getString("batch", "auto"));
     const ScenarioResult sweep = runScenario(scenario, driver.engine());
 
     // Beam witnesses fan out too: one task per size within the beam cap.
@@ -316,12 +323,14 @@ int runPortfolio(int argc, const char* const* argv) {
     scenario.adversaries =
         splitSpecList(driver.options().getString("adversaries", ""));
     scenario.backend =
-        parseSimBackend(driver.options().getString("backend", "auto"));
+        parseBackendChoice(driver.options().getString("backend", "auto"));
+    scenario.batch =
+        parseBatchPolicy(driver.options().getString("batch", "auto"));
 
     driver.printHeader(
         "SCENARIO — objective=" + objectiveName(scenario.objective) +
         ", dynamics=" + DynamicsSpec::parse(scenario.dynamics).toString() +
-        ", backend=" + simBackendName(scenario.backend));
+        ", backend=" + backendChoiceName(scenario.backend));
     const ScenarioResult result = runScenario(scenario, driver.engine());
 
     TextTable table(
@@ -491,6 +500,12 @@ int runList(int argc, const char* const* argv) {
                  "simulation for sparse-capable\n"
                  "    graph models above; auto switches past n=4096 — rows "
                  "are backend-invariant)\n"
+                 "  --batch=K|auto|off (broadcast over adversary-driven "
+                 "trees: run K seed\n"
+                 "    replicates of an oblivious adversary in lockstep; "
+                 "auto batches 8 lanes\n"
+                 "    once a cell has >= 8 replicates — rows are "
+                 "batch-invariant)\n"
                  "  --summary prints per-(n, member) stats over --seeds "
                  "replicates\n";
     return 0;
