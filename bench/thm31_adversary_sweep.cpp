@@ -10,6 +10,10 @@
 // Usage: thm31_adversary_sweep [--sizes=4:512:2] [--seed=1] [--seeds=R]
 //                              [--jobs=N] [--csv=path] [--beam-maxn=32]
 //                              [--beam-width=256] [--adversaries=SPECS]
+// This bench IS `dynbcast sweep` under its historical name (CMake links
+// dynbcast_cli for exactly this forwarder), so the one bench->tools
+// include edge is deliberate, not drift.
+// dynbcast-lint: allow(layer-include) -- historical forwarder to the CLI
 #include "tools/cli.h"
 
 int main(int argc, char** argv) { return dynbcast::cli::runSweep(argc, argv); }

@@ -11,6 +11,9 @@
 //   is frozen for the round, while the model's "≥ 1 new edge per round"
 //   progress is paid by unimportant processes.
 //
+// reset() here must replay bit-identically; gated by the named suite.
+// dynbcast-lint: replay-test(DeterministicAcrossInvocations)
+//
 // A second ingredient matters just as much: STABILITY. Re-sorting the
 // path from scratch every round creates information cascades (a node
 // placed early feeds its whole suffix), which *accelerates* broadcast.

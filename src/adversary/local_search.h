@@ -5,6 +5,9 @@
 // it strictly lowers the one-round DelayScore. More expensive per round
 // than GreedyDelayAdversary but finds orderings the fixed candidate pool
 // misses; the benches compare both.
+//
+// reset() here must replay bit-identically; gated by the named suite.
+// dynbcast-lint: replay-test(DeterministicPerSeed)
 #pragma once
 
 #include <cstdint>

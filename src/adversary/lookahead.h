@@ -15,6 +15,9 @@
 // sharing a root). A per-call transposition table — collision-safe: a
 // digest hit is merged only after the full heard matrices compare equal
 // — evaluates each (state, remaining-depth) node once per nextTree call.
+//
+// reset() here must replay bit-identically; gated by the named suite.
+// dynbcast-lint: replay-test(LookaheadResetReplaysDeterministically)
 #pragma once
 
 #include <cstdint>

@@ -2,6 +2,10 @@
 // the heard-of state. They provide the model's baselines (§2 of the
 // paper: a static path costs exactly n−1; any static tree costs its
 // height) and the random-environment comparison of §5.
+//
+// The reset() implementations below promise byte-identical replay; the
+// named suite is the determinism gate that holds them to it.
+// dynbcast-lint: replay-test(ResetReplaysIdenticalRun)
 #pragma once
 
 #include <cstdint>

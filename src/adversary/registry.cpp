@@ -1,3 +1,6 @@
+// The replay wrappers below ("beam", "exact") reset() to the start of
+// their witness sequence; replay determinism is gated by the named suite.
+// dynbcast-lint: replay-test(BeamReplayIsDeterministicAndVerified)
 #include "src/adversary/registry.h"
 
 #include <algorithm>

@@ -1,3 +1,6 @@
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #include "src/adversary/search_tree.h"
 
 #include <algorithm>
@@ -100,6 +103,9 @@ std::size_t SearchTreeArena::depth(std::uint32_t id) const {
 
 std::vector<RootedTree> SearchTreeArena::lineage(std::uint32_t id) const {
   DYNBCAST_ASSERT(id < nodes_.size() && nodes_[id].refcount > 0);
+  // Witness reconstruction runs once per finished search, outside the
+  // expansion loop.
+  // dynbcast-lint: allow(hot-alloc) -- once per search, not per round
   std::vector<RootedTree> out;
   out.reserve(nodes_[id].depth);
   for (std::uint32_t v = id; nodes_[v].parent != kNoNode;

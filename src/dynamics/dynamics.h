@@ -96,7 +96,9 @@ class DynamicsModel {
 };
 
 /// SparseRoundSource adapter over a DynamicsModel — feeds the t*-only
-/// frontier mode from any sparse-capable model.
+/// frontier mode from any sparse-capable model. Its reset() forwards to
+/// the model, whose replay contract is gated by the named suite.
+// dynbcast-lint: replay-test(ModelsReplayDeterministicallyAcrossReset)
 class DynamicsRoundSource final : public SparseRoundSource {
  public:
   explicit DynamicsRoundSource(DynamicsModel& model) : model_(model) {}

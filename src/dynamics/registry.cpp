@@ -1,3 +1,6 @@
+// Every concrete DynamicsModel in this file promises deterministic
+// replay from (n, seed) across reset(); gated by the named suite.
+// dynbcast-lint: replay-test(EveryModelReplaysAtParamBoundaries)
 #include "src/dynamics/registry.h"
 
 #include <algorithm>
@@ -386,6 +389,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
     info.literature = "El-Hayek, Henzinger & Schmid (this paper)";
     info.mode = DynamicsMode::kAdversaryTrees;
     info.graphClass = DynamicsClass::kRootedTree;
+    info.params = {};  // no parameters, deliberately
     info.defaultAdversaries = [](const DynamicsParams&) {
       return standardPortfolioSpecs();
     };
@@ -444,6 +448,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
     info.mode = DynamicsMode::kGeneratorList;
     info.graphClass = DynamicsClass::kNonsplit;
     info.stochastic = true;
+    info.params = {};  // no parameters, deliberately
     info.defaultAdversaries = [](const DynamicsParams&) {
       return std::vector<std::string>{"nonsplit-random", "nonsplit-skewed"};
     };
@@ -499,6 +504,7 @@ void registerBuiltins(DynamicsRegistry& reg) {
     info.literature = "slow regime of [2]/[9]";
     info.graphClass = DynamicsClass::kNonsplit;
     info.stochastic = true;
+    info.params = {};  // no parameters, deliberately
     info.factory = [](std::size_t n, std::uint64_t seed,
                       const DynamicsParams& params)
         -> std::unique_ptr<DynamicsModel> {

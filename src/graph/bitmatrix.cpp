@@ -96,6 +96,7 @@ bool BitMatrix::isFull() const noexcept {
 
 std::vector<std::size_t> BitMatrix::completeRows() const {
   std::vector<std::size_t> out;
+  out.reserve(n_);
   for (std::size_t x = 0; x < n_; ++x) {
     if (rows_[x].all()) out.push_back(x);
   }

@@ -1,3 +1,6 @@
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #include "src/sim/batch_sim.h"
 
 #include <bit>
@@ -184,6 +187,9 @@ bool BatchBroadcastSim::gossipDone(std::size_t lane) const noexcept {
 }
 
 std::vector<DynBitset> BatchBroadcastSim::heardMatrix(std::size_t lane) const {
+  // Lane extraction is a per-retire diagnostic copy, not part of the
+  // round kernel.
+  // dynbcast-lint: allow(hot-alloc) -- diagnostic copy, not round kernel
   std::vector<DynBitset> heard(n_, DynBitset(n_));
   for (std::size_t y = 0; y < n_; ++y) {
     const std::uint64_t* row = prevRow(y);
@@ -196,6 +202,9 @@ std::vector<DynBitset> BatchBroadcastSim::heardMatrix(std::size_t lane) const {
 }
 
 std::vector<std::size_t> BatchBroadcastSim::retireBroadcastDone() {
+  // The retire list is tiny (<= width) and built only when lanes
+  // finish, not every round.
+  // dynbcast-lint: allow(hot-alloc) -- only on lane retirement
   std::vector<std::size_t> retired;
   std::vector<std::size_t>& keep = keepScratch_;
   keep.clear();

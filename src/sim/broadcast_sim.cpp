@@ -1,3 +1,6 @@
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #include "src/sim/broadcast_sim.h"
 
 #include "src/support/assert.h"
@@ -81,6 +84,9 @@ void BroadcastSim::applyTreeTo(std::vector<DynBitset>& heard,
   DYNBCAST_ASSERT_MSG(tree.size() == heard.size(), "tree size mismatch");
   // Reverse-BFS: every child is updated before its parent, so the
   // parent's heard set still holds its round-(t-1) value when read.
+  // Reference path; the fused applyTree() kernel is the
+  // allocation-free one used by sweeps.
+  // dynbcast-lint: allow(hot-alloc) -- reference path, not the kernel
   const std::vector<std::size_t> order = tree.bfsOrder();
   for (std::size_t i = order.size(); i-- > 0;) {
     const std::size_t y = order[i];

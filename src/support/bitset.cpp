@@ -1,3 +1,6 @@
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #include "src/support/bitset.h"
 
 #include <bit>
@@ -90,6 +93,9 @@ std::size_t DynBitset::findNext(std::size_t from) const noexcept {
 }
 
 std::vector<std::size_t> DynBitset::toIndices() const {
+  // toIndices is a diagnostic/test conversion; kernels iterate words
+  // directly.
+  // dynbcast-lint: allow(hot-alloc) -- diagnostic conversion only
   std::vector<std::size_t> out;
   out.reserve(count());
   for (std::size_t i = findFirst(); i < size_; i = findNext(i + 1)) {

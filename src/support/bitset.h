@@ -9,6 +9,9 @@
 // (orWith, andWith, intersects, isSupersetOf, count) and guarantees that
 // all bits past size() are zero (the "tail invariant"), so whole-set
 // predicates are plain word comparisons.
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #pragma once
 
 #include <bit>

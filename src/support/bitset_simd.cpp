@@ -11,6 +11,9 @@
 // All tiers are exact drop-ins: same results word for word, including
 // popcounts. The AVX tiers assume nothing about alignment (loadu/storeu)
 // and fall back to scalar words for the remainder of the span.
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #include "src/support/bitset.h"
 
 #include <bit>

@@ -11,6 +11,9 @@
 // Recursive searches (lookahead) keep one EvalScratch per depth level:
 // level d's buffers must stay alive while level d+1 evaluates its own
 // candidates into the next slot.
+// Allocation-free hot path: dynbcast_lint bans allocation in function
+// bodies here (rule hot-alloc); setup/diagnostic exceptions carry allow().
+// dynbcast-lint: hot-path
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,37 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These annotate which lock protects which data (GUARDED_BY), which locks
+// a function needs (REQUIRES), and which it takes/releases
+// (ACQUIRE/RELEASE), so `clang -Wthread-safety` proves lock discipline at
+// compile time. The CMake build promotes the warning to an error on
+// Clang; GCC has no such analysis, so there the macros expand to nothing
+// and the annotations are documentation.
+//
+// Naming and semantics follow the Clang capability model
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). libstdc++'s
+// std::mutex carries no capability attributes, which is why
+// src/support/mutex.h wraps it in an annotated Mutex/MutexLock/CondVar
+// trio — the analysis can only track locks it can see.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DYNBCAST_THREAD_ATTR(x) __attribute__((x))
+#else
+#define DYNBCAST_THREAD_ATTR(x)  // no-op: GCC/MSVC have no such analysis
+#endif
+
+#define CAPABILITY(x) DYNBCAST_THREAD_ATTR(capability(x))
+#define SCOPED_CAPABILITY DYNBCAST_THREAD_ATTR(scoped_lockable)
+#define GUARDED_BY(x) DYNBCAST_THREAD_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) DYNBCAST_THREAD_ATTR(pt_guarded_by(x))
+#define REQUIRES(...) \
+  DYNBCAST_THREAD_ATTR(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) DYNBCAST_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) DYNBCAST_THREAD_ATTR(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  DYNBCAST_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) DYNBCAST_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) DYNBCAST_THREAD_ATTR(assert_capability(x))
+#define RETURN_CAPABILITY(x) DYNBCAST_THREAD_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DYNBCAST_THREAD_ATTR(no_thread_safety_analysis)

@@ -34,12 +34,14 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(sleepMutex_);
+    MutexLock lock(sleepMutex_);
     // Drain: every task submitted before this point must finish.
-    drain_.wait(lock, [this] { return inFlight_ == 0; });
+    drain_.wait(sleepMutex_, [this]() REQUIRES(sleepMutex_) {
+      return inFlight_ == 0;
+    });
     stopping_ = true;
   }
-  wake_.notify_all();
+  wake_.notifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -49,7 +51,7 @@ void ThreadPool::enqueue(Task task) {
     // rescanning all queues while holding sleepMutex_, so a push made
     // under the same lock can never slip into the window between a
     // worker's rescan and its wait (the classic lost wakeup).
-    std::lock_guard<std::mutex> lock(sleepMutex_);
+    MutexLock lock(sleepMutex_);
     std::size_t target;
     if (tlsPool == this) {
       target = tlsWorkerIndex;  // nested submit: keep work local, stealable
@@ -58,10 +60,10 @@ void ThreadPool::enqueue(Task task) {
       nextQueue_ = (nextQueue_ + 1) % queues_.size();
     }
     ++inFlight_;
-    std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
+    MutexLock qlock(queues_[target]->mutex);
     queues_[target]->queue.push_back(std::move(task));
   }
-  wake_.notify_one();
+  wake_.notifyOne();
 }
 
 bool ThreadPool::tryRunOne(std::size_t self) {
@@ -69,7 +71,7 @@ bool ThreadPool::tryRunOne(std::size_t self) {
   // Own queue first (LIFO — cache-warm, depth-first on nested work) …
   {
     Worker& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    MutexLock lock(own.mutex);
     if (!own.queue.empty()) {
       task = std::move(own.queue.back());
       own.queue.pop_back();
@@ -80,7 +82,7 @@ bool ThreadPool::tryRunOne(std::size_t self) {
     const std::size_t count = queues_.size();
     for (std::size_t offset = 1; offset < count && !task; ++offset) {
       Worker& victim = *queues_[(self + offset) % count];
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      MutexLock lock(victim.mutex);
       if (!victim.queue.empty()) {
         task = std::move(victim.queue.front());
         victim.queue.pop_front();
@@ -90,9 +92,9 @@ bool ThreadPool::tryRunOne(std::size_t self) {
   if (!task) return false;
   task();  // packaged_task captures any exception into its future
   {
-    std::lock_guard<std::mutex> lock(sleepMutex_);
+    MutexLock lock(sleepMutex_);
     --inFlight_;
-    if (inFlight_ == 0) drain_.notify_all();
+    if (inFlight_ == 0) drain_.notifyAll();
   }
   return true;
 }
@@ -102,20 +104,20 @@ void ThreadPool::workerLoop(std::size_t self) {
   tlsWorkerIndex = self;
   for (;;) {
     if (tryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(sleepMutex_);
+    MutexLock lock(sleepMutex_);
     if (stopping_) return;
     // Re-check under the lock: a task may have been enqueued between the
     // failed scan and acquiring sleepMutex_ (its notify would be lost).
     bool anyQueued = false;
     for (const auto& worker : queues_) {
-      std::lock_guard<std::mutex> qlock(worker->mutex);
+      MutexLock qlock(worker->mutex);
       if (!worker->queue.empty()) {
         anyQueued = true;
         break;
       }
     }
     if (anyQueued) continue;
-    wake_.wait(lock);
+    wake_.wait(sleepMutex_);
   }
 }
 
@@ -128,10 +130,11 @@ void ThreadPool::parallelFor(std::size_t count,
   }
   struct Shared {
     std::atomic<std::size_t> remaining;
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t firstErrorIndex = std::numeric_limits<std::size_t>::max();
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done;
+    std::size_t firstErrorIndex GUARDED_BY(mutex) =
+        std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error GUARDED_BY(mutex);
   };
   auto shared = std::make_shared<Shared>();
   shared->remaining.store(count, std::memory_order_relaxed);
@@ -140,15 +143,15 @@ void ThreadPool::parallelFor(std::size_t count,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->mutex);
+        MutexLock lock(shared->mutex);
         if (i < shared->firstErrorIndex) {
           shared->firstErrorIndex = i;
           shared->error = std::current_exception();
         }
       }
       if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(shared->mutex);
-        shared->done.notify_all();
+        MutexLock lock(shared->mutex);
+        shared->done.notifyAll();
       }
     });
   }
@@ -157,16 +160,17 @@ void ThreadPool::parallelFor(std::size_t count,
   const std::size_t self = tlsPool == this ? tlsWorkerIndex : 0;
   while (shared->remaining.load(std::memory_order_acquire) != 0) {
     if (tryRunOne(self)) continue;
-    std::unique_lock<std::mutex> lock(shared->mutex);
-    shared->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+    MutexLock lock(shared->mutex);
+    shared->done.waitFor(shared->mutex, std::chrono::milliseconds(1), [&] {
       return shared->remaining.load(std::memory_order_acquire) == 0;
     });
   }
+  MutexLock lock(shared->mutex);
   if (shared->error) std::rethrow_exception(shared->error);
 }
 
 std::size_t ThreadPool::pendingTasks() const {
-  std::lock_guard<std::mutex> lock(sleepMutex_);
+  MutexLock lock(sleepMutex_);
   return inFlight_;
 }
 

@@ -22,16 +22,17 @@
 // seeds from task *positions*, never from execution order).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "src/support/mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace dynbcast {
 
@@ -76,8 +77,8 @@ class ThreadPool {
   using Task = std::function<void()>;
 
   struct Worker {
-    mutable std::mutex mutex;
-    std::deque<Task> queue;
+    mutable Mutex mutex;
+    std::deque<Task> queue GUARDED_BY(mutex);
   };
 
   void enqueue(Task task);
@@ -87,12 +88,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> queues_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex sleepMutex_;
-  std::condition_variable wake_;   // workers wait here when all queues empty
-  std::condition_variable drain_;  // destructor waits for inFlight_ == 0
-  std::size_t inFlight_ = 0;       // submitted but not yet finished
-  std::size_t nextQueue_ = 0;      // round-robin cursor for external submits
-  bool stopping_ = false;
+  mutable Mutex sleepMutex_;
+  CondVar wake_;   // workers wait here when all queues empty
+  CondVar drain_;  // destructor waits for inFlight_ == 0
+  // Submitted but not yet finished.
+  std::size_t inFlight_ GUARDED_BY(sleepMutex_) = 0;
+  // Round-robin cursor for external submits.
+  std::size_t nextQueue_ GUARDED_BY(sleepMutex_) = 0;
+  bool stopping_ GUARDED_BY(sleepMutex_) = false;
 };
 
 }  // namespace dynbcast

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "src/adversary/local_search.h"
+#include "src/adversary/lookahead.h"
 #include "src/adversary/oblivious.h"
 #include "src/bounds/bounds.h"
 #include "src/support/rng.h"
@@ -166,6 +167,39 @@ TEST(LocalSearchTest, DeterministicPerSeed) {
   const BroadcastRun a = runAdversary(10, adv, defaultRoundCap(10));
   const BroadcastRun b = runAdversary(10, adv, defaultRoundCap(10));
   EXPECT_EQ(a.rounds, b.rounds);
+}
+
+// The replay gate promised by src/adversary/lookahead.h's
+// replay-test(...) annotation: reset() must rewind the adversary (RNG and
+// transposition state included) to a byte-identical run, and two
+// instances built from the same (n, seed) must agree round for round.
+TEST(LookaheadTest, LookaheadResetReplaysDeterministically) {
+  constexpr std::size_t kN = 10;
+  constexpr std::uint64_t kSeed = 42;
+  LookaheadDelayAdversary adversary(kN, kSeed);
+  const BroadcastRun first =
+      runAdversary(kN, adversary, defaultRoundCap(kN), true);
+  // runAdversary resets first, so a second run on the SAME instance is a
+  // replay across reset().
+  const BroadcastRun replay =
+      runAdversary(kN, adversary, defaultRoundCap(kN), true);
+  EXPECT_EQ(first.rounds, replay.rounds);
+  EXPECT_EQ(first.completed, replay.completed);
+  ASSERT_EQ(first.history.size(), replay.history.size());
+  for (std::size_t r = 0; r < first.history.size(); ++r) {
+    EXPECT_EQ(first.history[r].totalEdges, replay.history[r].totalEdges)
+        << "round " << r;
+  }
+
+  LookaheadDelayAdversary rebuilt(kN, kSeed);
+  const BroadcastRun fresh =
+      runAdversary(kN, rebuilt, defaultRoundCap(kN), true);
+  EXPECT_EQ(first.rounds, fresh.rounds);
+  ASSERT_EQ(first.history.size(), fresh.history.size());
+  for (std::size_t r = 0; r < first.history.size(); ++r) {
+    EXPECT_EQ(first.history[r].totalEdges, fresh.history[r].totalEdges)
+        << "round " << r;
+  }
 }
 
 TEST(DelayScoreTest, LexicographicOrdering) {

@@ -1,0 +1,17 @@
+// dynbcast-lint-fixture: path=src/sim/no_reason.cpp
+// dynbcast-lint: hot-path
+
+#include <vector>
+
+namespace dynbcast {
+
+void fill(std::vector<int>& out) {
+  // dynbcast-lint: allow(hot-alloc)
+  std::vector<int> tmp(out.size());
+  out.swap(tmp);
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 9: [lint-allow-reason] allow(hot-alloc) without `-- <reason>`: a suppression is a reviewed decision, write down why
+// EXPECT: 10: [hot-alloc] std::vector constructed inside a hot-path function body; preallocate in the constructor/reset and reuse

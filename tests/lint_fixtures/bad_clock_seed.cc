@@ -1,0 +1,10 @@
+// dynbcast-lint-fixture: path=bench/clock_seeded.cpp
+
+#include <ctime>
+
+int main() {
+  dynbcast::Rng rng(static_cast<std::uint64_t>(std::time(nullptr)));
+  return static_cast<int>(rng.next() & 1);
+}
+
+// EXPECT: 6: [det-clock-seed] wall-clock value must not seed an RNG; seeds come from SeedSequence positions

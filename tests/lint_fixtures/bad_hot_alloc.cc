@@ -1,0 +1,29 @@
+// dynbcast-lint-fixture: path=src/sim/hot_kernel.cpp
+// dynbcast-lint: hot-path
+
+#include <memory>
+#include <vector>
+
+namespace dynbcast {
+
+struct HotKernel {
+  std::vector<int> scratch;  // member declaration: not a body, no finding
+
+  void step(std::vector<int>& frontier) {
+    std::vector<int> tmp(frontier.size());
+    auto box = std::make_unique<int>(7);
+    int* raw = new int[4];
+    std::vector<int>& alias = scratch;
+    std::vector<int> moved = std::move(tmp);
+    frontier.swap(moved);
+    delete[] raw;
+    (void)box;
+    (void)alias;
+  }
+};
+
+}  // namespace dynbcast
+
+// EXPECT: 13: [hot-alloc] std::vector constructed inside a hot-path function body; preallocate in the constructor/reset and reuse
+// EXPECT: 14: [hot-alloc] std::make_unique allocates; hot-path state must be preallocated
+// EXPECT: 15: [hot-alloc] `new` in a hot-path function body; preallocate in the constructor/reset and reuse

@@ -1,0 +1,8 @@
+// dynbcast-lint-fixture: path=src/graph/bad_dep.cpp
+
+#include "src/graph/bitmatrix.h"
+#include "src/sim/broadcast_sim.h"
+
+namespace dynbcast {}
+
+// EXPECT: 4: [layer-include] 'graph' may not include 'sim' (src/sim/broadcast_sim.h); allowed: {support} per tools/lint/layers.txt

@@ -1,0 +1,14 @@
+// dynbcast-lint-fixture: path=src/graph/shuffle.cpp
+
+#include <random>
+
+namespace dynbcast {
+
+int pick() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 8: [det-naked-rng] construct randomness via dynbcast::Rng / SeedSequence, not std::mt19937 (position-based seeding is the contract)

@@ -1,0 +1,14 @@
+// dynbcast-lint-fixture: path=src/support/entropy.cpp
+
+#include <random>
+
+namespace dynbcast {
+
+std::uint64_t entropySeed() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 8: [det-random-device] std::random_device draws OS entropy; derive seeds from SeedSequence positions instead

@@ -1,0 +1,19 @@
+// dynbcast-lint-fixture: path=src/adversary/register_bad.cpp
+
+#include "src/adversary/registry.h"
+
+namespace dynbcast {
+
+void registerBadExamples(AdversaryRegistry& reg) {
+  reg.add({"greedy-lite", "greedy without docs", makeGreedyLite});
+
+  AdversaryInfo info;
+  info.name = "undocumented";
+  info.description = "entry built field by field";
+  reg.add(std::move(info));
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 8: [reg-param-doc] registration aggregate must carry the param-doc list as its 3rd field ({} for a parameterless entry)
+// EXPECT: 13: [reg-param-doc] registration of 'info' has no 'info.params = ...' declaration in the enclosing block; declare the accepted keys (`= {}` for none)

@@ -1,0 +1,17 @@
+// dynbcast-lint-fixture: path=src/dynamics/drift_walk.cpp
+
+#include "src/dynamics/dynamics.h"
+
+namespace dynbcast {
+
+class DriftWalk final : public DynamicsModel {
+ public:
+  void reset() override { step_ = 0; }
+
+ private:
+  std::size_t step_ = 0;
+};
+
+}  // namespace dynbcast
+
+// EXPECT: 9: [reg-replay-test] this file implements reset() (a replayable adversary/dynamics entry) but declares no `// dynbcast-lint: replay-test(<name>)`; name the determinism suite that replays it

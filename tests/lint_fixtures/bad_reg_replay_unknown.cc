@@ -1,0 +1,16 @@
+// dynbcast-lint-fixture: path=src/adversary/phantom.cpp
+
+namespace dynbcast {
+
+// dynbcast-lint: replay-test(PhantomReplaySuite)
+class PhantomAdversary {
+ public:
+  void reset() override { rounds_ = 0; }
+
+ private:
+  unsigned rounds_ = 0;
+};
+
+}  // namespace dynbcast
+
+// EXPECT: 8: [reg-replay-test] replay-test(PhantomReplaySuite) names a test that does not exist under tests/ — the determinism gate it promises is gone

@@ -1,0 +1,14 @@
+// dynbcast-lint-fixture: path=src/graph/unknown_rule.cpp
+
+namespace dynbcast {
+
+// dynbcast-lint: allow(det-bogus) -- the rule id has a typo
+int identity(int x) { return x; }
+
+// dynbcast-lint: allow(hot-alloc
+int zero() { return 0; }
+
+}  // namespace dynbcast
+
+// EXPECT: 5: [lint-unknown-rule] allow() names unknown rule 'det-bogus'
+// EXPECT: 8: [lint-unknown-rule] malformed allow(...) directive

@@ -1,0 +1,12 @@
+// dynbcast-lint-fixture: path=tools/emit_report.cpp
+
+#include <string>
+#include <unordered_map>
+
+void emit(const std::unordered_map<std::string, int>& byName) {
+  for (const auto& [name, rounds] : byName) {
+    printRow(name, rounds);
+  }
+}
+
+// EXPECT: 7: [det-unordered-iter] iteration order of 'byName' is unspecified; copy to a sorted container (or use std::map) before emitting rows

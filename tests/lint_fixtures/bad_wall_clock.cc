@@ -1,0 +1,17 @@
+// dynbcast-lint-fixture: path=src/sim/timed_step.cpp
+
+#include <chrono>
+#include <cstdlib>
+
+namespace dynbcast {
+
+double stepWithTiming() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int jitter = rand();
+  return static_cast<double>(jitter) + t0.time_since_epoch().count();
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 9: [det-wall-clock] library code (src/) must not read clocks; move timing to bench/ or tools/ — layer 'sim' output must be a pure function of its seeds
+// EXPECT: 10: [det-wall-clock] C rand()/srand() share hidden global state; use dynbcast::Rng

@@ -1,0 +1,14 @@
+// dynbcast-lint-fixture: path=src/tree/spanning.cpp
+//
+// Clean file: allowed includes, Rng-based randomness, zero diagnostics.
+
+#include "src/graph/bitmatrix.h"
+#include "src/support/rng.h"
+
+namespace dynbcast {
+
+std::size_t pickBranch(Rng& rng, std::size_t n) {
+  return rng.uniform(n);
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,19 @@
+// dynbcast-lint-fixture: path=src/adversary/register_good.cpp
+
+#include "src/adversary/registry.h"
+
+namespace dynbcast {
+
+void registerGoodExamples(AdversaryRegistry& reg) {
+  reg.add({"beam", "beam-search delay adversary",
+           {{"width", "beam width (default 256)"}},
+           makeBeam});
+
+  AdversaryInfo info;
+  info.name = "plain";
+  info.description = "parameterless strategy";
+  info.params = {};
+  reg.add(std::move(info));
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,15 @@
+// dynbcast-lint-fixture: path=src/dynamics/good_model.cpp
+// dynbcast-lint-fixture: known-test=GoodModelReplaysAfterReset
+
+namespace dynbcast {
+
+// dynbcast-lint: replay-test(GoodModelReplaysAfterReset)
+class GoodModel final : public DynamicsModel {
+ public:
+  void reset() override { round_ = 0; }
+
+ private:
+  std::size_t round_ = 0;
+};
+
+}  // namespace dynbcast

@@ -1,0 +1,15 @@
+// dynbcast-lint-fixture: path=src/sim/suppressed.cpp
+// dynbcast-lint: hot-path
+
+#include <vector>
+
+namespace dynbcast {
+
+std::vector<int> snapshot(const std::vector<int>& state) {
+  // Diagnostic copy, documented and reviewed:
+  // dynbcast-lint: allow(hot-alloc) -- one-off diagnostic snapshot
+  std::vector<int> copy(state);
+  return copy;
+}
+
+}  // namespace dynbcast

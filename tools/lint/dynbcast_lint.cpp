@@ -1,0 +1,1116 @@
+// dynbcast_lint — project-invariant static analysis for the dynbcast tree.
+//
+// The repo's headline guarantees (byte-identical sweeps at any --jobs,
+// position-based seeding, allocation-free hot paths, a strict layer DAG)
+// were historically enforced only by runtime tests: a stray
+// std::random_device or an unordered_map iteration feeding a CSV row
+// compiles fine and fails only probabilistically, much later. This tool
+// makes those invariants machine-checked at the exact line of the
+// violation, with no libclang dependency — a comment/string-aware token
+// scan plus an #include-graph walk is enough for every rule below.
+//
+// Diagnostics: `file:line: [rule-id] message`, exit 1 if any fired.
+//
+// Rules (see --list-rules and README "Static analysis & invariants"):
+//   det-random-device  std::random_device anywhere (entropy breaks replay)
+//   det-clock-seed     wall-clock value flowing into a seed/RNG expression
+//   det-wall-clock     any clock/time()/rand() read inside src/ library code
+//   det-naked-rng      <random> engine construction outside the seed plumbing
+//   det-unordered-iter range-for over an unordered container in a file that
+//                      emits rows/CSV/JSON (iteration order is unspecified)
+//   layer-include      #include edge violating tools/lint/layers.txt
+//   hot-alloc          allocation inside a function body of a file tagged
+//                      `// dynbcast-lint: hot-path`
+//   reg-param-doc      registry .add() call with no paired param-doc
+//   reg-replay-test    reset()-bearing adversary/dynamics implementation
+//                      file with no replay-test(...) annotation naming a
+//                      test that actually exists under tests/
+//   lint-allow-reason  allow(...) suppression without a `-- reason` string
+//   lint-unknown-rule  directive names a rule id this binary doesn't know
+//
+// Suppressions: `// dynbcast-lint: allow(<rule-id>) -- <reason>` on the
+// offending line (or the line directly above it) silences that one rule
+// there. The reason is mandatory: a suppression is a reviewed decision,
+// and the justification must survive in the diff.
+//
+// Modes:
+//   dynbcast_lint --root DIR [dirs...]    lint the tree (default mode)
+//   dynbcast_lint --self-test DIR         run the fixture suite (*.cc files
+//                                         with // EXPECT: assertions)
+//   dynbcast_lint --list-rules            print the rule table
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+struct RuleDoc {
+  const char* id;
+  const char* summary;
+};
+
+constexpr RuleDoc kRules[] = {
+    {"det-random-device",
+     "std::random_device is banned: entropy makes runs unreproducible"},
+    {"det-clock-seed",
+     "clock/time() value must never flow into a seed or RNG construction"},
+    {"det-wall-clock",
+     "src/ library code must not read clocks or call time()/rand(); "
+     "timing belongs in bench/ and tools/"},
+    {"det-naked-rng",
+     "<random> engines may only be constructed in the seed plumbing "
+     "(src/support/rng.*, src/support/seed_sequence.*)"},
+    {"det-unordered-iter",
+     "range-for over an unordered container in a row/CSV/JSON-producing "
+     "file: iteration order is unspecified and would leak into output"},
+    {"layer-include",
+     "#include edge violates the layer DAG declared in tools/lint/layers.txt"},
+    {"hot-alloc",
+     "allocation (new/make_unique/make_shared/container construction) "
+     "inside a function body of a `// dynbcast-lint: hot-path` file"},
+    {"reg-param-doc",
+     "registry .add() call site must pair a param-doc declaration "
+     "(positional doc list, or `info.params = ...` — `= {}` for none)"},
+    {"reg-replay-test",
+     "adversary/dynamics implementation file defining reset() must carry "
+     "`// dynbcast-lint: replay-test(<name>)` naming an existing test"},
+    {"lint-allow-reason",
+     "allow(...) suppression must carry `-- <reason>`"},
+    {"lint-unknown-rule", "directive names an unknown rule id"},
+};
+
+bool isKnownRule(const std::string& id) {
+  for (const RuleDoc& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+struct Diagnostic {
+  std::string path;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (path != o.path) return path < o.path;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Source model: raw lines, comment-directives, and a stripped copy of each
+// line with comments and string/char-literal contents blanked out, so token
+// scans never fire on prose or quoted text.
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string path;                      // repo-relative (or fixture-virtual)
+  std::vector<std::string> raw;          // 1-based via index+1
+  std::vector<std::string> stripped;     // same size as raw
+  std::vector<std::string> comments;     // comment text per line (directives)
+  bool hotPath = false;                  // `// dynbcast-lint: hot-path` seen
+  // line -> rules suppressed on that line (already reason-checked).
+  std::map<std::size_t, std::set<std::string>> allows;
+  std::vector<std::string> replayTests;  // names from replay-test(...)
+  std::vector<Diagnostic> directiveDiags;
+};
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// Splits every line into code (stripped) and comment text, tracking block
+// comments, string literals, char literals, and raw strings across the
+// whole file. Digit separators (1'000'000) are not char literals.
+void stripFile(SourceFile& file) {
+  enum class State { kCode, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string rawDelim;  // raw string closing delimiter: )delim"
+  file.stripped.resize(file.raw.size());
+  file.comments.resize(file.raw.size());
+
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    std::string code;
+    std::string comment;
+    code.reserve(line.size());
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kCode:
+          if (c == '/' && next == '/') {
+            comment += line.substr(i);
+            i = line.size();
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == 'R' && next == '"' &&
+                     (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                     line[i - 1])) &&
+                                 line[i - 1] != '_'))) {
+            // Raw string: R"delim( ... )delim"
+            std::size_t open = line.find('(', i + 2);
+            if (open == std::string::npos) open = line.size();
+            rawDelim = ")" + line.substr(i + 2, open - i - 2) + "\"";
+            state = State::kRawString;
+            code += "\"\"";
+            i = open;  // skip past the opening parenthesis
+          } else if (c == '"') {
+            state = State::kString;
+            code += '"';
+          } else if (c == '\'' && i > 0 &&
+                     (std::isalnum(static_cast<unsigned char>(line[i - 1])))) {
+            // digit separator or suffix apostrophe inside a number: keep
+            code += c;
+          } else if (c == '\'') {
+            state = State::kChar;
+            code += '\'';
+          } else {
+            code += c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kCode;
+            ++i;
+          } else {
+            comment += c;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kCode;
+            code += '"';
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kCode;
+            code += '\'';
+          }
+          break;
+        case State::kRawString: {
+          const std::size_t close = line.find(rawDelim, i);
+          if (close == std::string::npos) {
+            i = line.size();
+          } else {
+            i = close + rawDelim.size() - 1;
+            state = State::kCode;
+          }
+          break;
+        }
+      }
+    }
+    file.stripped[li] = std::move(code);
+    file.comments[li] = std::move(comment);
+  }
+}
+
+// Parses `// dynbcast-lint: ...` directives out of the comment text. The
+// directive must START the comment (after the // and whitespace) — prose
+// that merely quotes the syntax, like this file's own header, never
+// counts as a directive.
+void parseDirectives(SourceFile& file) {
+  for (std::size_t li = 0; li < file.comments.size(); ++li) {
+    std::string comment = file.comments[li];
+    std::size_t skip = 0;
+    while (skip < comment.size() &&
+           (comment[skip] == '/' || comment[skip] == '*' ||
+            std::isspace(static_cast<unsigned char>(comment[skip]))))
+      ++skip;
+    comment.erase(0, skip);
+    if (!startsWith(comment, "dynbcast-lint:")) continue;
+    const std::size_t at = 0;
+    std::string body =
+        comment.substr(at + std::string("dynbcast-lint:").size());
+    // Trim leading whitespace.
+    while (!body.empty() && std::isspace(static_cast<unsigned char>(body[0])))
+      body.erase(body.begin());
+    const std::size_t lineNo = li + 1;
+    if (startsWith(body, "hot-path")) {
+      file.hotPath = true;
+    } else if (startsWith(body, "allow(")) {
+      const std::size_t close = body.find(')');
+      if (close == std::string::npos) {
+        file.directiveDiags.push_back({file.path, lineNo, "lint-unknown-rule",
+                                       "malformed allow(...) directive"});
+        continue;
+      }
+      const std::string rule = body.substr(6, close - 6);
+      if (!isKnownRule(rule)) {
+        file.directiveDiags.push_back(
+            {file.path, lineNo, "lint-unknown-rule",
+             "allow() names unknown rule '" + rule + "'"});
+        continue;
+      }
+      const std::size_t dash = body.find("--", close);
+      std::string reason =
+          dash == std::string::npos ? "" : body.substr(dash + 2);
+      while (!reason.empty() &&
+             std::isspace(static_cast<unsigned char>(reason[0])))
+        reason.erase(reason.begin());
+      if (reason.empty()) {
+        file.directiveDiags.push_back(
+            {file.path, lineNo, "lint-allow-reason",
+             "allow(" + rule + ") without `-- <reason>`: a suppression is a "
+             "reviewed decision, write down why"});
+        continue;
+      }
+      // A trailing-comment allow covers its own line; a standalone-comment
+      // allow covers the next line.
+      const bool standalone =
+          file.stripped[li].find_first_not_of(" \t") == std::string::npos;
+      file.allows[standalone ? lineNo + 1 : lineNo].insert(rule);
+    } else if (startsWith(body, "replay-test(")) {
+      const std::size_t close = body.find(')');
+      if (close != std::string::npos && close > 12) {
+        file.replayTests.push_back(body.substr(12, close - 12));
+      }
+    }
+    // Fixture headers (dynbcast-lint-fixture:) never reach here: the
+    // directive prefix check above requires exactly "dynbcast-lint:".
+  }
+}
+
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `token` occurs in `line` with non-identifier characters (or
+// the line boundary) on both sides. `token` may itself contain '::'.
+std::size_t findToken(const std::string& line, const std::string& token,
+                      std::size_t from = 0) {
+  for (std::size_t pos = line.find(token, from); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool leftOk = pos == 0 || !isIdentChar(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool rightOk = end >= line.size() || !isIdentChar(line[end]);
+    if (leftOk && rightOk) return pos;
+  }
+  return std::string::npos;
+}
+
+bool containsToken(const std::string& line, const std::string& token) {
+  return findToken(line, token) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------------
+// Layer model
+// ---------------------------------------------------------------------------
+
+struct LayerConfig {
+  // layer name -> set of layers it may include (itself always allowed).
+  std::map<std::string, std::set<std::string>> allowed;
+  std::vector<std::string> order;  // declaration order, for messages
+};
+
+std::optional<LayerConfig> loadLayers(const fs::path& path,
+                                      std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open layer matrix " + path.string();
+    return std::nullopt;
+  }
+  LayerConfig config;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ss(line);
+    std::string name;
+    if (!(ss >> name)) continue;  // blank / comment-only line
+    if (name.back() != ':') {
+      *error = path.string() + ":" + std::to_string(lineNo) +
+               ": layer name must end with ':'";
+      return std::nullopt;
+    }
+    name.pop_back();
+    std::set<std::string> deps;
+    std::string dep;
+    while (ss >> dep) deps.insert(dep);
+    if (config.allowed.count(name)) {
+      *error = path.string() + ":" + std::to_string(lineNo) +
+               ": duplicate layer '" + name + "'";
+      return std::nullopt;
+    }
+    config.allowed[name] = std::move(deps);
+    config.order.push_back(name);
+  }
+  return config;
+}
+
+// Maps a repo-relative path (or #include target) to its layer name, or ""
+// when the path is outside the layered tree (system headers, third-party).
+std::string layerOf(const std::string& path) {
+  if (startsWith(path, "src/")) {
+    const std::size_t slash = path.find('/', 4);
+    if (slash != std::string::npos) return path.substr(4, slash - 4);
+    return "";
+  }
+  for (const char* top : {"tools", "bench", "tests", "examples"}) {
+    if (startsWith(path, std::string(top) + "/")) return top;
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Function-body tracking (for hot-alloc): a conservative brace scanner.
+// A `{` opens a function body when the previous significant token is `)`
+// or one of the qualifiers that legally sit between the parameter list and
+// the body (const/noexcept/override/final/mutable/try) or a trailing
+// return type. Everything inside (at any nesting depth) is "body".
+// ---------------------------------------------------------------------------
+
+std::vector<bool> markFunctionBodyLines(const SourceFile& file) {
+  std::vector<bool> inBody(file.stripped.size(), false);
+  std::vector<bool> bodyStack;  // per open brace: is it (inside) a body?
+  std::string prevToken;
+  bool prevWasCloseParen = false;
+
+  auto tokenAllowsBody = [&]() {
+    if (prevWasCloseParen) return true;
+    static const std::set<std::string> kQualifiers = {
+        "const", "noexcept", "override", "final", "mutable", "try"};
+    if (kQualifiers.count(prevToken)) return true;
+    // Trailing return type: `) -> SomeType {` leaves prevToken as the last
+    // type token; accept `>` (template close) and identifiers following
+    // a close paren is already handled. Keep conservative: identifiers
+    // after `->` are rare outside trailing returns at file scope.
+    return false;
+  };
+
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    const std::string& line = file.stripped[li];
+    // Preprocessor lines don't affect brace structure.
+    std::size_t firstSig = line.find_first_not_of(" \t");
+    if (firstSig != std::string::npos && line[firstSig] == '#') {
+      inBody[li] = !bodyStack.empty() && bodyStack.back();
+      continue;
+    }
+    // A line is "body" if we are inside a body at its start OR become so;
+    // mark at first body-open on the line too (tokens after `{`).
+    bool lineIsBody = !bodyStack.empty() && bodyStack.back();
+    std::string token;
+    auto flushToken = [&] {
+      if (!token.empty()) {
+        prevToken = token;
+        prevWasCloseParen = false;
+        token.clear();
+      }
+    };
+    for (char c : line) {
+      if (isIdentChar(c)) {
+        token += c;
+        continue;
+      }
+      flushToken();
+      if (c == '{') {
+        const bool enclosingBody = !bodyStack.empty() && bodyStack.back();
+        const bool opensBody = enclosingBody || tokenAllowsBody();
+        bodyStack.push_back(opensBody);
+        // A brace that OPENS a body leaves its own line unmarked: the text
+        // before `{` is the signature (return type / parameters), which
+        // legitimately names container types. Nested braces are body.
+        if (opensBody && enclosingBody) lineIsBody = true;
+        prevToken.clear();
+        prevWasCloseParen = false;
+      } else if (c == '}') {
+        if (!bodyStack.empty()) bodyStack.pop_back();
+        prevToken.clear();
+        prevWasCloseParen = false;
+      } else if (c == ')') {
+        prevWasCloseParen = true;
+        prevToken.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        if (c != '(') prevWasCloseParen = false;
+        prevToken.clear();
+      }
+    }
+    flushToken();
+    inBody[li] = lineIsBody;
+  }
+  return inBody;
+}
+
+// ---------------------------------------------------------------------------
+// Rule context and helpers
+// ---------------------------------------------------------------------------
+
+struct LintContext {
+  const LayerConfig* layers = nullptr;
+  // Concatenated contents of tests/ (for reg-replay-test name lookup).
+  std::string testsCorpus;
+  std::vector<Diagnostic> diags;
+  // Findings suppressed by a valid allow() — counted for reporting.
+  std::size_t suppressed = 0;
+};
+
+void report(LintContext& ctx, const SourceFile& file, std::size_t line,
+            const std::string& rule, const std::string& message) {
+  const auto it = file.allows.find(line);
+  if (it != file.allows.end() && it->second.count(rule)) {
+    ++ctx.suppressed;
+    return;
+  }
+  ctx.diags.push_back({file.path, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+const char* const kClockTokens[] = {
+    "steady_clock", "system_clock", "high_resolution_clock", "file_clock",
+    "utc_clock", "tai_clock", "gps_clock"};
+
+bool lineReadsClock(const std::string& s) {
+  for (const char* tok : kClockTokens) {
+    const std::size_t at = findToken(s, tok);
+    if (at != std::string::npos && s.find("::now", at) != std::string::npos)
+      return true;
+  }
+  if (containsToken(s, "time") && s.find("time (") != std::string::npos)
+    return true;
+  const std::size_t t = findToken(s, "time");
+  if (t != std::string::npos && t + 4 < s.size() && s[t + 4] == '(')
+    return true;
+  return false;
+}
+
+const char* const kSeedTokens[] = {"seed", "Seed", "srand", "Rng",
+                                   "mt19937", "default_random_engine",
+                                   "minstd_rand"};
+
+void checkDeterminism(LintContext& ctx, const SourceFile& file) {
+  const std::string layer = layerOf(file.path);
+  const bool inSrc = startsWith(file.path, "src/");
+  const bool rngAllowListed =
+      startsWith(file.path, "src/support/rng.") ||
+      startsWith(file.path, "src/support/seed_sequence.");
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    const std::string& s = file.stripped[li];
+    const std::size_t lineNo = li + 1;
+    if (containsToken(s, "random_device")) {
+      report(ctx, file, lineNo, "det-random-device",
+             "std::random_device draws OS entropy; derive seeds from "
+             "SeedSequence positions instead");
+    }
+    // Engine construction outside the sanctioned seed plumbing.
+    if (!rngAllowListed) {
+      for (const char* engine :
+           {"mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+            "minstd_rand0", "ranlux24", "ranlux48", "knuth_b"}) {
+        if (containsToken(s, engine)) {
+          report(ctx, file, lineNo, "det-naked-rng",
+                 std::string("construct randomness via dynbcast::Rng / "
+                             "SeedSequence, not std::") +
+                     engine + " (position-based seeding is the contract)");
+          break;
+        }
+      }
+    }
+    const bool clock = lineReadsClock(s);
+    if (clock) {
+      // A clock value in the same statement as seed/RNG vocabulary is a
+      // nondeterministic seed — banned everywhere, including bench/tests.
+      bool seedContext = false;
+      for (const char* tok : kSeedTokens) {
+        if (containsToken(s, tok)) {
+          seedContext = true;
+          break;
+        }
+      }
+      if (seedContext) {
+        report(ctx, file, lineNo, "det-clock-seed",
+               "wall-clock value must not seed an RNG; seeds come from "
+               "SeedSequence positions");
+      } else if (inSrc) {
+        report(ctx, file, lineNo, "det-wall-clock",
+               "library code (src/) must not read clocks; move timing to "
+               "bench/ or tools/ — layer '" + layer + "' output must be a "
+               "pure function of its seeds");
+      }
+    } else if (inSrc &&
+               (containsToken(s, "rand") || containsToken(s, "srand"))) {
+      report(ctx, file, lineNo, "det-wall-clock",
+             "C rand()/srand() share hidden global state; use "
+             "dynbcast::Rng");
+    }
+  }
+}
+
+// Range-for over identifiers declared as unordered containers, in files
+// that emit rows/CSV/JSON.
+bool producesRows(const SourceFile& file) {
+  if (startsWith(file.path, "tools/") || startsWith(file.path, "bench/") ||
+      startsWith(file.path, "src/analysis/") ||
+      startsWith(file.path, "src/engine/"))
+    return true;
+  for (const std::string& line : file.raw) {
+    if (line.find("src/analysis/csv.h") != std::string::npos ||
+        line.find("src/support/table.h") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+void checkUnorderedIteration(LintContext& ctx, const SourceFile& file) {
+  if (startsWith(file.path, "tests/")) return;  // not shipped output
+  if (!producesRows(file)) return;
+  // Pass 1: collect identifiers declared with an unordered container type.
+  std::set<std::string> unorderedVars;
+  for (const std::string& s : file.stripped) {
+    for (const char* type : {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"}) {
+      std::size_t at = findToken(s, type);
+      if (at == std::string::npos) continue;
+      // Skip the template argument list by matching angle brackets.
+      std::size_t i = s.find('<', at);
+      if (i == std::string::npos) continue;
+      int depth = 0;
+      for (; i < s.size(); ++i) {
+        if (s[i] == '<') ++depth;
+        if (s[i] == '>' && --depth == 0) break;
+      }
+      if (i >= s.size()) continue;
+      ++i;
+      while (i < s.size() &&
+             (std::isspace(static_cast<unsigned char>(s[i])) || s[i] == '&'))
+        ++i;
+      std::string name;
+      while (i < s.size() && isIdentChar(s[i])) name += s[i++];
+      if (!name.empty()) unorderedVars.insert(name);
+    }
+  }
+  if (unorderedVars.empty()) return;
+  // Pass 2: range-for whose range expression names one of them.
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    const std::string& s = file.stripped[li];
+    const std::size_t forAt = findToken(s, "for");
+    if (forAt == std::string::npos) continue;
+    const std::size_t colon = s.find(':', forAt);
+    if (colon == std::string::npos) continue;
+    const std::string range = s.substr(colon + 1);
+    for (const std::string& var : unorderedVars) {
+      if (containsToken(range, var)) {
+        report(ctx, file, li + 1, "det-unordered-iter",
+               "iteration order of '" + var + "' is unspecified; copy to a "
+               "sorted container (or use std::map) before emitting rows");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering rule
+// ---------------------------------------------------------------------------
+
+void checkLayering(LintContext& ctx, const SourceFile& file) {
+  if (!ctx.layers) return;
+  const std::string fromLayer = layerOf(file.path);
+  if (fromLayer.empty()) return;
+  const auto allowedIt = ctx.layers->allowed.find(fromLayer);
+  if (allowedIt == ctx.layers->allowed.end()) {
+    report(ctx, file, 1, "layer-include",
+           "file's layer '" + fromLayer +
+               "' is not declared in tools/lint/layers.txt");
+    return;
+  }
+  for (std::size_t li = 0; li < file.raw.size(); ++li) {
+    const std::string& line = file.raw[li];
+    std::size_t at = line.find_first_not_of(" \t");
+    if (at == std::string::npos || line[at] != '#') continue;
+    const std::size_t inc = line.find("include", at);
+    if (inc == std::string::npos) continue;
+    const std::size_t q1 = line.find('"', inc);
+    if (q1 == std::string::npos) continue;  // <system> headers: no layer
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string target = line.substr(q1 + 1, q2 - q1 - 1);
+    const std::string toLayer = layerOf(target);
+    if (toLayer.empty()) continue;  // relative include inside same dir etc.
+    if (toLayer == fromLayer) continue;
+    if (!allowedIt->second.count(toLayer)) {
+      report(ctx, file, li + 1, "layer-include",
+             "'" + fromLayer + "' may not include '" + toLayer + "' (" +
+                 target + "); allowed: {" +
+                 [&] {
+                   std::string joined;
+                   for (const std::string& d : allowedIt->second) {
+                     if (!joined.empty()) joined += ", ";
+                     joined += d;
+                   }
+                   return joined;
+                 }() +
+                 "} per tools/lint/layers.txt");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path allocation rule
+// ---------------------------------------------------------------------------
+
+void checkHotPathAllocations(LintContext& ctx, const SourceFile& file) {
+  if (!file.hotPath) return;
+  const std::vector<bool> inBody = markFunctionBodyLines(file);
+  const char* const kContainers[] = {
+      "vector", "deque", "list", "forward_list", "map", "set",
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset", "multimap", "multiset", "queue",
+      "priority_queue", "stack", "basic_string"};
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    if (!inBody[li]) continue;
+    const std::string& s = file.stripped[li];
+    const std::size_t lineNo = li + 1;
+    const std::size_t newAt = findToken(s, "new");
+    if (newAt != std::string::npos) {
+      report(ctx, file, lineNo, "hot-alloc",
+             "`new` in a hot-path function body; preallocate in the "
+             "constructor/reset and reuse");
+    }
+    for (const char* fn : {"make_unique", "make_shared"}) {
+      if (containsToken(s, fn)) {
+        report(ctx, file, lineNo, "hot-alloc",
+               std::string("std::") + fn +
+                   " allocates; hot-path state must be preallocated");
+        break;
+      }
+    }
+    for (const char* type : kContainers) {
+      const std::size_t at = findToken(s, type);
+      if (at == std::string::npos) continue;
+      // Only count actual std:: container type mentions followed by a
+      // template argument list or constructor call — `std::vector<` /
+      // `std::string(`. Bare words (a comment-ish identifier) don't fire.
+      if (at < 5 || s.compare(at - 5, 5, "std::") != 0) continue;
+      std::size_t after = at + std::string(type).size();
+      if (after >= s.size() || (s[after] != '<' && s[after] != '(')) continue;
+      if (s[after] == '<') {
+        // Skip reference/pointer bindings (`std::vector<T>& v = ...`) —
+        // they alias existing storage. Find the matching `>`.
+        int depth = 0;
+        std::size_t close = after;
+        for (; close < s.size(); ++close) {
+          if (s[close] == '<') ++depth;
+          if (s[close] == '>' && --depth == 0) break;
+        }
+        if (close < s.size()) {
+          std::size_t next = close + 1;
+          while (next < s.size() && s[next] == ' ') ++next;
+          if (next < s.size() && (s[next] == '&' || s[next] == '*')) continue;
+        }
+      }
+      // A move from existing storage is not an allocation.
+      if (s.find("std::move(") != std::string::npos) continue;
+      {
+        report(ctx, file, lineNo, "hot-alloc",
+               std::string("std::") + type +
+                   " constructed inside a hot-path function body; "
+                   "preallocate in the constructor/reset and reuse");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry hygiene rules
+// ---------------------------------------------------------------------------
+
+// Counts commas at depth 1 relative to the opening brace at `start`
+// (which must point at '{' in the joined text). Returns nullopt when the
+// brace never closes.
+std::optional<int> topLevelCommas(const std::string& text, std::size_t start) {
+  int depth = 0;
+  int commas = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '{' || c == '(' || c == '[') ++depth;
+    if (c == '}' || c == ')' || c == ']') {
+      --depth;
+      if (depth == 0) return commas;
+    }
+    if (c == ',' && depth == 1) ++commas;
+  }
+  return std::nullopt;
+}
+
+void checkRegistryParamDocs(LintContext& ctx, const SourceFile& file) {
+  // The registry unit tests deliberately build minimal/invalid entries to
+  // probe error paths; the hygiene contract is about shipped registrations.
+  if (startsWith(file.path, "tests/")) return;
+  // Join stripped lines with newline so statements spanning lines work;
+  // keep a map from joined offset -> line number.
+  std::string joined;
+  std::vector<std::size_t> lineOfOffset;
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    for (char c : file.stripped[li]) {
+      joined += c;
+      lineOfOffset.push_back(li + 1);
+    }
+    joined += '\n';
+    lineOfOffset.push_back(li + 1);
+  }
+  for (const char* recv : {"reg.add", "registry.add", "reg->add",
+                           "registry->add"}) {
+    for (std::size_t at = joined.find(recv); at != std::string::npos;
+         at = joined.find(recv, at + 1)) {
+      if (at > 0 && isIdentChar(joined[at - 1])) continue;
+      const std::size_t open = joined.find('(', at);
+      if (open == std::string::npos) continue;
+      std::size_t i = open + 1;
+      while (i < joined.size() &&
+             std::isspace(static_cast<unsigned char>(joined[i])))
+        ++i;
+      const std::size_t lineNo = lineOfOffset[at];
+      if (i < joined.size() && joined[i] == '{') {
+        // Positional aggregate: {name, description, {param docs}, factory}
+        // — the doc list is the 3rd of 4 fields, so 3 top-level commas.
+        const std::optional<int> commas = topLevelCommas(joined, i);
+        if (!commas || *commas < 3) {
+          report(ctx, file, lineNo, "reg-param-doc",
+                 "registration aggregate must carry the param-doc list as "
+                 "its 3rd field ({} for a parameterless entry)");
+        }
+      } else {
+        // `reg.add(std::move(info))` / `reg.add(info)` style: require an
+        // `X.params =` assignment since the previous registration (or
+        // block start).
+        const std::size_t move = joined.find("std::move(", i);
+        std::string var;
+        if (move != std::string::npos && move < joined.find(')', i) + 1) {
+          std::size_t v = move + 10;
+          while (v < joined.size() && isIdentChar(joined[v])) {
+            var += joined[v++];
+          }
+        } else {
+          std::size_t v = i;
+          while (v < joined.size() && isIdentChar(joined[v])) {
+            var += joined[v++];
+          }
+        }
+        if (var.empty()) {
+          report(ctx, file, lineNo, "reg-param-doc",
+                 "unrecognized registration form; pass the info aggregate "
+                 "inline or via std::move(<var>)");
+          continue;
+        }
+        // Search backward for `<var>.params` between here and the previous
+        // `.add(` (or 100 lines, whichever is nearer).
+        const std::size_t windowStart =
+            lineNo > 100 ? lineNo - 100 : std::size_t{1};
+        bool found = false;
+        for (std::size_t li = lineNo; li-- > windowStart - 1 && !found;) {
+          const std::string& s = file.stripped[li];
+          if (li + 1 != lineNo && s.find(".add(") != std::string::npos) break;
+          if (s.find(var + ".params") != std::string::npos) found = true;
+        }
+        if (!found) {
+          report(ctx, file, lineNo, "reg-param-doc",
+                 "registration of '" + var + "' has no '" + var +
+                     ".params = ...' declaration in the enclosing block; "
+                     "declare the accepted keys (`= {}` for none)");
+        }
+      }
+    }
+  }
+}
+
+void checkReplayTestAnnotation(LintContext& ctx, const SourceFile& file) {
+  const bool inScope = startsWith(file.path, "src/adversary/") ||
+                       startsWith(file.path, "src/dynamics/");
+  if (!inScope) return;
+  // Only concrete implementations (reset() override) need the annotation;
+  // the pure-virtual interface declaration does not.
+  std::size_t resetLine = 0;
+  for (std::size_t li = 0; li < file.stripped.size(); ++li) {
+    const std::string& s = file.stripped[li];
+    const std::size_t at = findToken(s, "reset");
+    if (at == std::string::npos) continue;
+    if (s.find("override", at) != std::string::npos) {
+      resetLine = li + 1;
+      break;
+    }
+  }
+  if (resetLine == 0) return;
+  if (file.replayTests.empty()) {
+    report(ctx, file, resetLine, "reg-replay-test",
+           "this file implements reset() (a replayable adversary/dynamics "
+           "entry) but declares no `// dynbcast-lint: replay-test(<name>)`; "
+           "name the determinism suite that replays it");
+    return;
+  }
+  for (const std::string& name : file.replayTests) {
+    // GTest names are written Suite.Test; the source spells them
+    // TEST(Suite, Test) and clang-format may wrap between them, so look
+    // the two halves up independently.
+    const std::size_t dot = name.find('.');
+    const bool found =
+        dot == std::string::npos
+            ? ctx.testsCorpus.find(name) != std::string::npos
+            : ctx.testsCorpus.find(name.substr(0, dot)) !=
+                      std::string::npos &&
+                  ctx.testsCorpus.find(name.substr(dot + 1)) !=
+                      std::string::npos;
+    if (!found) {
+      report(ctx, file, resetLine, "reg-replay-test",
+             "replay-test(" + name + ") names a test that does not exist "
+             "under tests/ — the determinism gate it promises is gone");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+SourceFile loadSource(const fs::path& fsPath, const std::string& virtualPath) {
+  SourceFile file;
+  file.path = virtualPath;
+  std::ifstream in(fsPath);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    file.raw.push_back(line);
+  }
+  stripFile(file);
+  parseDirectives(file);
+  return file;
+}
+
+void lintOne(LintContext& ctx, SourceFile& file) {
+  for (Diagnostic& d : file.directiveDiags) ctx.diags.push_back(d);
+  checkDeterminism(ctx, file);
+  checkUnorderedIteration(ctx, file);
+  checkLayering(ctx, file);
+  checkHotPathAllocations(ctx, file);
+  checkRegistryParamDocs(ctx, file);
+  checkReplayTestAnnotation(ctx, file);
+}
+
+bool lintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h";
+}
+
+int runTree(const fs::path& root, const std::vector<std::string>& dirs) {
+  LintContext ctx;
+  std::string layerError;
+  const std::optional<LayerConfig> layers =
+      loadLayers(root / "tools" / "lint" / "layers.txt", &layerError);
+  if (!layers) {
+    std::cerr << "dynbcast_lint: " << layerError << "\n";
+    return 2;
+  }
+  ctx.layers = &*layers;
+
+  // Collect files first (sorted for stable output), then build the tests
+  // corpus for replay-test lookups.
+  std::vector<std::pair<fs::path, std::string>> files;  // fs path, rel path
+  for (const std::string& dir : dirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) {
+      std::cerr << "dynbcast_lint: no such directory: " << base << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !lintableExtension(entry.path()))
+        continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      files.emplace_back(entry.path(), rel);
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  const fs::path testsDir = root / "tests";
+  if (fs::exists(testsDir)) {
+    for (const auto& entry : fs::recursive_directory_iterator(testsDir)) {
+      if (!entry.is_regular_file()) continue;
+      std::ifstream in(entry.path());
+      std::stringstream ss;
+      ss << in.rdbuf();
+      ctx.testsCorpus += ss.str();
+    }
+  }
+
+  for (const auto& [fsPath, rel] : files) {
+    SourceFile file = loadSource(fsPath, rel);
+    lintOne(ctx, file);
+  }
+
+  std::sort(ctx.diags.begin(), ctx.diags.end());
+  for (const Diagnostic& d : ctx.diags) {
+    std::cout << d.path << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  std::cerr << "dynbcast_lint: " << files.size() << " files, "
+            << ctx.diags.size() << " finding(s), " << ctx.suppressed
+            << " suppressed\n";
+  return ctx.diags.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Fixture self-test
+//
+// Each fixture is a *.cc file (never picked up by the tree walk or the
+// build glob) with:
+//   // dynbcast-lint-fixture: path=src/engine/foo.cpp   (virtual path)
+//   // dynbcast-lint-fixture: known-test=SomeTest       (optional, repeat)
+//   // EXPECT: <line>: [rule-id] <exact message>        (0 or more)
+// The lint must produce EXACTLY the expected diagnostics.
+// ---------------------------------------------------------------------------
+
+int runSelfTest(const fs::path& root, const fs::path& fixtureDir) {
+  std::string layerError;
+  const std::optional<LayerConfig> layers =
+      loadLayers(root / "tools" / "lint" / "layers.txt", &layerError);
+  if (!layers) {
+    std::cerr << "dynbcast_lint: " << layerError << "\n";
+    return 2;
+  }
+  std::vector<fs::path> fixtures;
+  for (const auto& entry : fs::directory_iterator(fixtureDir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cc")
+      fixtures.push_back(entry.path());
+  }
+  std::sort(fixtures.begin(), fixtures.end());
+  if (fixtures.empty()) {
+    std::cerr << "dynbcast_lint: no *.cc fixtures in " << fixtureDir << "\n";
+    return 2;
+  }
+
+  std::size_t failures = 0;
+  for (const fs::path& path : fixtures) {
+    // Parse fixture headers from the raw text.
+    std::ifstream in(path);
+    std::string virtualPath;
+    std::string knownTests;
+    std::vector<std::string> expected;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      const std::size_t fx = line.find("dynbcast-lint-fixture:");
+      if (fx != std::string::npos) {
+        std::string body = line.substr(fx + 22);
+        while (!body.empty() &&
+               std::isspace(static_cast<unsigned char>(body[0])))
+          body.erase(body.begin());
+        if (startsWith(body, "path=")) virtualPath = body.substr(5);
+        if (startsWith(body, "known-test="))
+          knownTests += body.substr(11) + "\n";
+        continue;
+      }
+      const std::size_t ex = line.find("// EXPECT: ");
+      if (ex != std::string::npos) expected.push_back(line.substr(ex + 11));
+    }
+    if (virtualPath.empty()) {
+      std::cerr << path.filename().string()
+                << ": FAIL (missing `// dynbcast-lint-fixture: path=...`)\n";
+      ++failures;
+      continue;
+    }
+
+    LintContext ctx;
+    ctx.layers = &*layers;
+    ctx.testsCorpus = knownTests;
+    SourceFile file = loadSource(path, virtualPath);
+    lintOne(ctx, file);
+
+    std::vector<std::string> actual;
+    std::sort(ctx.diags.begin(), ctx.diags.end());
+    for (const Diagnostic& d : ctx.diags) {
+      actual.push_back(std::to_string(d.line) + ": [" + d.rule + "] " +
+                       d.message);
+    }
+    std::sort(expected.begin(), expected.end(), [](const std::string& a,
+                                                   const std::string& b) {
+      // Numeric-aware sort on the leading line number, then text.
+      const auto num = [](const std::string& s) {
+        return std::stoul(s.substr(0, s.find(':')));
+      };
+      const unsigned long na = num(a), nb = num(b);
+      if (na != nb) return na < nb;
+      return a < b;
+    });
+    if (actual == expected) {
+      std::cout << path.filename().string() << ": ok (" << actual.size()
+                << " diagnostic(s))\n";
+      continue;
+    }
+    ++failures;
+    std::cout << path.filename().string() << ": FAIL\n";
+    std::cout << "  expected " << expected.size() << " diagnostic(s):\n";
+    for (const std::string& e : expected) std::cout << "    " << e << "\n";
+    std::cout << "  actual " << actual.size() << " diagnostic(s):\n";
+    for (const std::string& a : actual) std::cout << "    " << a << "\n";
+  }
+  std::cout << fixtures.size() - failures << "/" << fixtures.size()
+            << " fixtures ok\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::optional<fs::path> selfTestDir;
+  std::vector<std::string> dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const RuleDoc& r : kRules) {
+        std::cout << r.id << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (startsWith(arg, "--root=")) {
+      root = arg.substr(7);
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (startsWith(arg, "--self-test=")) {
+      selfTestDir = arg.substr(12);
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      selfTestDir = argv[++i];
+    } else if (startsWith(arg, "--")) {
+      std::cerr << "dynbcast_lint: unknown option " << arg << "\n"
+                << "usage: dynbcast_lint [--root DIR] [dirs...] | "
+                   "--self-test DIR | --list-rules\n";
+      return 2;
+    } else {
+      dirs.push_back(arg);
+    }
+  }
+  if (selfTestDir) return runSelfTest(root, *selfTestDir);
+  if (dirs.empty()) dirs = {"src", "tools", "bench", "tests", "examples"};
+  return runTree(root, dirs);
+}
