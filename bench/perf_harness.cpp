@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "bench/driver.h"
 #include "src/adversary/adaptive.h"
 #include "src/adversary/beam.h"
@@ -39,6 +41,11 @@
 #include "src/dynamics/registry.h"
 #include "src/engine/experiment_engine.h"
 #include "src/graph/bitmatrix.h"
+#include "src/service/job.h"
+#include "src/service/manifest.h"
+#include "src/service/protocol.h"
+#include "src/service/worker.h"
+#include "src/support/file_lock.h"
 #include "src/sim/batch_sim.h"
 #include "src/sim/broadcast_sim.h"
 #include "src/sim/frontier_sim.h"
@@ -373,6 +380,64 @@ BatchSweepTiming timeBatchedSweep(std::size_t n, std::uint64_t seed) {
   return t;
 }
 
+/// Service throughput: distinct sweep specs pushed through the manifest
+/// worker loop against one shared result cache — once cold (every task
+/// executes and its record + cache entry are fsynced) and once warm
+/// (fresh manifests, every task satisfied from the cache). The specs/s
+/// pair is the experiment service's headline number, and the warm:cold
+/// ratio is the machine-relative gate: it collapses to ~1 if the cache
+/// pre-pass stops short-circuiting execution.
+struct ServiceThroughput {
+  std::size_t specs = 0;
+  double coldMs = 0.0;
+  double warmMs = 0.0;
+
+  [[nodiscard]] double coldSpecsPerS() const { return specs * 1e3 / coldMs; }
+  [[nodiscard]] double warmSpecsPerS() const { return specs * 1e3 / warmMs; }
+  [[nodiscard]] double warmSpeedup() const { return coldMs / warmMs; }
+};
+
+ServiceThroughput timeServiceThroughput(const std::string& scratchDir,
+                                        std::uint64_t seed, bool quick) {
+  std::filesystem::remove_all(scratchDir);
+  makeDirectories(scratchDir);
+  const std::string cacheDir = scratchDir + "/cache";
+
+  ServiceThroughput t;
+  t.specs = quick ? 4 : 8;
+  std::vector<ServiceRequest> requests;
+  for (std::size_t i = 0; i < t.specs; ++i) {
+    // Rooted-tree portfolio rows (real adversary runs, not the cheap
+    // graph models) so task cost dwarfs the per-record fsync; the beam
+    // pass is disabled — its tasks are minutes, not milliseconds.
+    ServiceRequest request;
+    request.scenario.sizes = {32, 48};
+    request.scenario.seedsPerSize = 2;
+    request.scenario.masterSeed = seed + i;  // distinct jobs, no overlap
+    request.beamMaxN = 0;
+    requests.push_back(request);
+  }
+
+  const auto runAll = [&](const char* tag) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const std::string manifest = scratchDir + "/" + tag + "-" +
+                                   std::to_string(i) + ".manifest";
+      initManifest(manifest, canonicalRequestString(requests[i]),
+                   planServiceJob(requests[i]).taskCount());
+      WorkerOptions work;
+      work.manifestPath = manifest;
+      work.cacheDir = cacheDir;
+      consume(runManifestWorker(work).executed);
+    }
+    return secondsSince(start) * 1e3;
+  };
+  t.coldMs = runAll("cold");
+  t.warmMs = runAll("warm");
+  std::filesystem::remove_all(scratchDir);
+  return t;
+}
+
 /// Search-core telemetry: one beam witness search at a FIXED size (same
 /// in quick and full mode, so CI's --quick run gates against the same
 /// baseline values) plus one short lookahead run for its transposition
@@ -433,7 +498,8 @@ void writeSweepJson(const std::string& path, std::size_t n,
                     const BatchSweepTiming& batchSweep,
                     double productSpeedup, std::size_t productN,
                     const FrontierCrossover& frontier,
-                    const SearchTelemetry& search) {
+                    const SearchTelemetry& search,
+                    const ServiceThroughput& service) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::cerr << "cannot write " << path << '\n';
@@ -489,6 +555,15 @@ void writeSweepJson(const std::string& path, std::size_t n,
                    ? static_cast<double>(search.lookaheadHits) /
                          static_cast<double>(search.lookaheadNodes)
                    : 0.0);
+  std::fprintf(f, "  \"service_specs\": %zu,\n", service.specs);
+  std::fprintf(f, "  \"service_cold_ms\": %.3f,\n", service.coldMs);
+  std::fprintf(f, "  \"service_warm_ms\": %.3f,\n", service.warmMs);
+  std::fprintf(f, "  \"service_cold_specs_per_s\": %.4f,\n",
+               service.coldSpecsPerS());
+  std::fprintf(f, "  \"service_warm_specs_per_s\": %.4f,\n",
+               service.warmSpecsPerS());
+  std::fprintf(f, "  \"service_warm_speedup\": %.4f,\n",
+               service.warmSpeedup());
   std::fprintf(f, "  \"best_rounds\": %zu\n}\n", bestRounds);
   std::fclose(f);
   std::cout << "wrote " << path << '\n';
@@ -578,6 +653,19 @@ int main(int argc, char** argv) {
       .add(static_cast<std::uint64_t>(search.beam.arenaPeakNodes))
       .add(search.beamMs, 1);
 
+  // --- experiment service: specs/s through the worker loop, cold/warm -
+  const ServiceThroughput service = timeServiceThroughput(
+      outDir + "/BENCH_service_scratch", driver.seed(), quick);
+  TextTable serviceTable({"specs", "cold ms", "warm ms", "cold specs/s",
+                          "warm specs/s", "warm speedup"});
+  serviceTable.row()
+      .add(static_cast<std::uint64_t>(service.specs))
+      .add(service.coldMs, 1)
+      .add(service.warmMs, 1)
+      .add(service.coldSpecsPerS(), 2)
+      .add(service.warmSpecsPerS(), 2)
+      .add(service.warmSpeedup(), 2);
+
   // --- dense vs sparse backend crossover (above the mirror threshold) -
   const std::size_t frontierN = quick ? 4608 : 8192;
   const FrontierCrossover frontier =
@@ -597,12 +685,13 @@ int main(int argc, char** argv) {
   driver.emit(kernelTable);
   std::cout << '\n' << sweepTable.render() << '\n';
   std::cout << '\n' << searchTable.render() << '\n';
+  std::cout << '\n' << serviceTable.render() << '\n';
   std::cout << '\n' << frontierTable.render() << '\n';
 
   writeKernelsJson(outDir + "/BENCH_kernels.json", kernels, quick,
                    driver.jobs());
   writeSweepJson(outDir + "/BENCH_sweep.json", sweepN, driver.seed(), quick,
                  portfolioMs, bestRounds, batchRoundSpeedup, batchSweep,
-                 productSpeedup, productN, frontier, search);
+                 productSpeedup, productN, frontier, search, service);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "src/adversary/adversary.h"
 #include "src/adversary/registry.h"
 #include "src/dynamics/registry.h"
+#include "src/engine/task_plan.h"
 #include "src/sim/gossip.h"
 
 namespace dynbcast {
@@ -19,184 +20,27 @@ static_assert(kAutoSparseThreshold == kSparseDenseMirrorMaxN,
 
 namespace {
 
-/// Member-index seed decorrelation for graph-model runs: a fixed odd
-/// multiplier on the member index (seeds stay position-derived, so any
-/// job count reproduces them). Matches the historical nonsplit-path
-/// derivation bit for bit.
-[[nodiscard]] std::uint64_t memberSeed(std::uint64_t instanceSeed,
-                                       std::size_t memberIndex) {
-  return instanceSeed ^ (0x9e3779b97f4a7c15ull * (memberIndex + 1));
-}
-
 [[nodiscard]] std::vector<std::string> resolvedSpecs(
     const ScenarioSpec& spec) {
   return spec.adversaries.empty() ? defaultAdversarySpecs(spec.dynamics)
                                   : spec.adversaries;
 }
 
-/// Instance plan shared by the gossip and graph-model paths — the same
-/// sizes × replicates flattening (and position-derived seeds) as
-/// ExperimentEngine::runSweep, so row order and seeding match the
-/// broadcast path exactly.
-struct InstancePlan {
-  std::size_t n = 0;
-  std::size_t seedIndex = 0;
-  std::uint64_t instanceSeed = 0;
-  std::size_t firstRow = 0;
-};
-
-[[nodiscard]] std::vector<InstancePlan> planInstances(
-    const ScenarioSpec& spec, std::size_t membersPerInstance,
-    std::size_t* totalRows) {
-  const SeedSequence seeds(spec.masterSeed);
-  std::vector<InstancePlan> plan;
-  plan.reserve(spec.sizes.size() * spec.seedsPerSize);
-  *totalRows = 0;
-  for (std::size_t s = 0; s < spec.sizes.size(); ++s) {
-    for (std::size_t r = 0; r < spec.seedsPerSize; ++r) {
-      InstancePlan instance;
-      instance.n = spec.sizes[s];
-      instance.seedIndex = r;
-      instance.instanceSeed = seeds.at(s * spec.seedsPerSize + r);
-      instance.firstRow = *totalRows;
-      *totalRows += membersPerInstance;
-      plan.push_back(instance);
-    }
-  }
-  return plan;
-}
-
-/// Regroups rows into per-instance aggregates (same as runSweep's
-/// aggregate phase): bestRounds is the max over *completed* rows.
-[[nodiscard]] std::vector<SweepInstance> aggregateInstances(
-    const std::vector<SweepRow>& rows, const std::vector<InstancePlan>& plan,
-    std::size_t membersPerInstance) {
-  std::vector<SweepInstance> instances;
-  instances.reserve(plan.size());
-  for (const InstancePlan& instance : plan) {
-    SweepInstance aggregate;
-    aggregate.n = instance.n;
-    aggregate.seedIndex = instance.seedIndex;
-    aggregate.instanceSeed = instance.instanceSeed;
-    for (std::size_t m = 0; m < membersPerInstance; ++m) {
-      const SweepRow& row = rows[instance.firstRow + m];
-      aggregate.portfolio.entries.push_back(
-          {row.member, row.rounds, row.completed, {}});
-      if (row.completed && row.rounds > aggregate.portfolio.bestRounds) {
-        aggregate.portfolio.bestRounds = row.rounds;
-        aggregate.portfolio.bestName = row.member;
-      }
-    }
-    instances.push_back(std::move(aggregate));
-  }
-  return instances;
-}
-
-[[nodiscard]] ScenarioResult runGossipScenario(const ScenarioSpec& spec,
-                                               ExperimentEngine& engine) {
-  const std::vector<std::string> specs = resolvedSpecs(spec);
-  std::size_t totalRows = 0;
-  const std::vector<InstancePlan> plan =
-      planInstances(spec, specs.size(), &totalRows);
-
-  // Materialize member factories per instance on this thread (factories
-  // capture the instance seed), mirroring runSweep's plan phase.
-  std::vector<std::vector<PortfolioMember>> members;
-  members.reserve(plan.size());
-  for (const InstancePlan& instance : plan) {
-    members.push_back(
-        membersFromSpecs(specs, instance.n, instance.instanceSeed));
-  }
-
-  std::vector<std::pair<std::size_t, std::size_t>> taskOf;  // row → (p, m)
-  taskOf.reserve(totalRows);
-  for (std::size_t p = 0; p < plan.size(); ++p) {
-    for (std::size_t m = 0; m < specs.size(); ++m) taskOf.emplace_back(p, m);
-  }
-
+/// The gossip and graph-model paths share one execution shape: map the
+/// task plan's per-position executor over the row grid. Row order,
+/// seeding, and member naming are all pure functions of position (see
+/// task_plan.h), so the result is byte-identical at any job count — and
+/// byte-identical to a service worker executing the same positions in
+/// another process.
+[[nodiscard]] ScenarioResult runPlannedScenario(const ScenarioSpec& spec,
+                                                ExperimentEngine& engine) {
   ScenarioResult result;
   result.rows = engine.map<SweepRow>(
-      totalRows, spec.masterSeed,
-      [&](std::size_t t, std::uint64_t) {
-        const auto [p, m] = taskOf[t];
-        const InstancePlan& instance = plan[p];
-        const PortfolioMember& member = members[p][m];
-        const std::unique_ptr<Adversary> adversary = member.make();
-        const std::size_t cap = spec.roundCap != 0
-                                    ? spec.roundCap
-                                    : defaultGossipRoundCap(instance.n);
-        BroadcastRun run = runAdversaryGossip(instance.n, *adversary, cap,
-                                              spec.recordHistory);
-        SweepRow row;
-        row.n = instance.n;
-        row.seedIndex = instance.seedIndex;
-        row.instanceSeed = instance.instanceSeed;
-        row.member = member.name;
-        row.rounds = run.rounds;
-        row.completed = run.completed;
-        row.history = std::move(run.history);
-        return row;
+      scenarioRowCount(spec), spec.masterSeed,
+      [&](std::size_t position, std::uint64_t) {
+        return runScenarioRow(spec, position);
       });
-  result.instances = aggregateInstances(result.rows, plan, specs.size());
-  return result;
-}
-
-/// The graph-model path: one row per (instance, model). `modelTexts` is
-/// usually the single dynamics spec itself; under the legacy "nonsplit"
-/// alias it is the (deprecated) generator list from the adversaries
-/// field — seed derivation is identical either way, so a single-model
-/// run reproduces member 0 of the alias run bit for bit.
-[[nodiscard]] ScenarioResult runModelScenario(
-    const ScenarioSpec& spec, ExperimentEngine& engine,
-    const std::vector<std::string>& modelTexts) {
-  std::vector<DynamicsSpec> parsed;
-  parsed.reserve(modelTexts.size());
-  for (const std::string& text : modelTexts) {
-    parsed.push_back(DynamicsSpec::parse(text));
-  }
-  std::size_t totalRows = 0;
-  const std::vector<InstancePlan> plan =
-      planInstances(spec, parsed.size(), &totalRows);
-
-  std::vector<std::pair<std::size_t, std::size_t>> taskOf;
-  taskOf.reserve(totalRows);
-  for (std::size_t p = 0; p < plan.size(); ++p) {
-    for (std::size_t m = 0; m < parsed.size(); ++m) taskOf.emplace_back(p, m);
-  }
-
-  const DynamicsRegistry& registry = DynamicsRegistry::instance();
-  ScenarioResult result;
-  result.rows = engine.map<SweepRow>(
-      totalRows, spec.masterSeed,
-      [&](std::size_t t, std::uint64_t) {
-        const auto [p, m] = taskOf[t];
-        const InstancePlan& instance = plan[p];
-        const std::uint64_t seed = memberSeed(instance.instanceSeed, m);
-        const std::unique_ptr<DynamicsModel> model =
-            registry.make(parsed[m], instance.n, seed);
-        const std::size_t cap = spec.roundCap != 0 ? spec.roundCap
-                                                   : model->defaultRoundCap();
-        const bool useSparse =
-            spec.backend == BackendChoice::kSparse ||
-            (spec.backend == BackendChoice::kAuto &&
-             model->supportsSparseRounds() && !spec.recordHistory &&
-             instance.n > kAutoSparseThreshold);
-        BroadcastRun run =
-            useSparse ? runFrontierDynamicsBroadcast(instance.n, *model, cap,
-                                                     spec.recordHistory, seed)
-                      : runDynamicsBroadcast(instance.n, *model, cap,
-                                             spec.recordHistory);
-        SweepRow row;
-        row.n = instance.n;
-        row.seedIndex = instance.seedIndex;
-        row.instanceSeed = instance.instanceSeed;
-        row.member = parsed[m].toString();
-        row.rounds = run.rounds;
-        row.completed = run.completed;
-        row.history = std::move(run.history);
-        return row;
-      });
-  result.instances = aggregateInstances(result.rows, plan, parsed.size());
+  result.instances = aggregateScenarioInstances(spec, result.rows);
   return result;
 }
 
@@ -373,14 +217,10 @@ ScenarioResult runScenario(const ScenarioSpec& spec,
   const DynamicsSpec dynamics = DynamicsSpec::parse(spec.dynamics);
   const DynamicsInfo& entry =
       DynamicsRegistry::instance().info(dynamics.name);
-  if (entry.mode == DynamicsMode::kGraphModel) {
-    return runModelScenario(spec, engine, {dynamics.toString()});
-  }
-  if (entry.mode == DynamicsMode::kGeneratorList) {
-    return runModelScenario(spec, engine, resolvedSpecs(spec));
-  }
-  if (spec.objective == Objective::kGossip) {
-    return runGossipScenario(spec, engine);
+  if (entry.mode == DynamicsMode::kGraphModel ||
+      entry.mode == DynamicsMode::kGeneratorList ||
+      spec.objective == Objective::kGossip) {
+    return runPlannedScenario(spec, engine);
   }
   // Broadcast over (un)restricted trees: exactly the engine's portfolio
   // sweep — a default rooted-tree scenario reproduces

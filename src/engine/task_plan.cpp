@@ -1,0 +1,176 @@
+#include "src/engine/task_plan.h"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/adversary/adversary.h"
+#include "src/adversary/portfolio.h"
+#include "src/adversary/registry.h"
+#include "src/dynamics/registry.h"
+#include "src/sim/gossip.h"
+#include "src/support/assert.h"
+#include "src/support/seed_sequence.h"
+
+namespace dynbcast {
+
+namespace {
+
+/// Member-index seed decorrelation for graph-model runs: a fixed odd
+/// multiplier on the member index (seeds stay position-derived, so any
+/// job count — or worker process — reproduces them). Matches the
+/// historical nonsplit-path derivation bit for bit.
+[[nodiscard]] std::uint64_t memberSeed(std::uint64_t instanceSeed,
+                                       std::size_t memberIndex) {
+  return instanceSeed ^ (0x9e3779b97f4a7c15ull * (memberIndex + 1));
+}
+
+[[nodiscard]] bool isModelScenario(const DynamicsInfo& entry) {
+  return entry.mode == DynamicsMode::kGraphModel ||
+         entry.mode == DynamicsMode::kGeneratorList;
+}
+
+}  // namespace
+
+std::vector<std::string> resolvedScenarioMemberSpecs(
+    const ScenarioSpec& spec) {
+  const DynamicsSpec dynamics = DynamicsSpec::parse(spec.dynamics);
+  const DynamicsInfo& entry =
+      DynamicsRegistry::instance().info(dynamics.name);
+  std::vector<std::string> texts = spec.adversaries.empty()
+                                       ? defaultAdversarySpecs(spec.dynamics)
+                                       : spec.adversaries;
+  // Canonicalize through the axis each spec actually belongs to, so the
+  // returned strings are stable cache-key components.
+  if (entry.mode == DynamicsMode::kGraphModel) {
+    return {dynamics.toString()};
+  }
+  for (std::string& text : texts) {
+    text = entry.mode == DynamicsMode::kGeneratorList
+               ? DynamicsSpec::parse(text).toString()
+               : AdversarySpec::parse(text).toString();
+  }
+  return texts;
+}
+
+std::size_t scenarioMembersPerInstance(const ScenarioSpec& spec) {
+  return resolvedScenarioMemberSpecs(spec).size();
+}
+
+std::size_t scenarioRowCount(const ScenarioSpec& spec) {
+  return spec.sizes.size() * spec.seedsPerSize *
+         scenarioMembersPerInstance(spec);
+}
+
+ScenarioRowPlan planScenarioRow(const ScenarioSpec& spec,
+                                std::size_t position) {
+  const std::vector<std::string> members = resolvedScenarioMemberSpecs(spec);
+  const std::size_t width = members.size();
+  DYNBCAST_ASSERT(width > 0 && spec.seedsPerSize > 0);
+  DYNBCAST_ASSERT(position < spec.sizes.size() * spec.seedsPerSize * width);
+  ScenarioRowPlan plan;
+  plan.position = position;
+  plan.memberIndex = position % width;
+  const std::size_t instance = position / width;
+  plan.seedIndex = instance % spec.seedsPerSize;
+  plan.sizeIndex = instance / spec.seedsPerSize;
+  plan.n = spec.sizes[plan.sizeIndex];
+  plan.instanceSeed = SeedSequence(spec.masterSeed).at(instance);
+  plan.memberSpec = members[plan.memberIndex];
+  return plan;
+}
+
+SweepRow runScenarioRow(const ScenarioSpec& spec, std::size_t position) {
+  const ScenarioRowPlan plan = planScenarioRow(spec, position);
+  const DynamicsSpec dynamics = DynamicsSpec::parse(spec.dynamics);
+  const DynamicsInfo& entry =
+      DynamicsRegistry::instance().info(dynamics.name);
+
+  SweepRow row;
+  row.n = plan.n;
+  row.seedIndex = plan.seedIndex;
+  row.instanceSeed = plan.instanceSeed;
+
+  if (isModelScenario(entry)) {
+    const std::uint64_t seed = memberSeed(plan.instanceSeed, plan.memberIndex);
+    const DynamicsSpec model = DynamicsSpec::parse(plan.memberSpec);
+    const std::unique_ptr<DynamicsModel> instance =
+        DynamicsRegistry::instance().make(model, plan.n, seed);
+    const std::size_t cap =
+        spec.roundCap != 0 ? spec.roundCap : instance->defaultRoundCap();
+    const bool useSparse =
+        spec.backend == BackendChoice::kSparse ||
+        (spec.backend == BackendChoice::kAuto &&
+         instance->supportsSparseRounds() && !spec.recordHistory &&
+         plan.n > kAutoSparseThreshold);
+    BroadcastRun run =
+        useSparse ? runFrontierDynamicsBroadcast(plan.n, *instance, cap,
+                                                 spec.recordHistory, seed)
+                  : runDynamicsBroadcast(plan.n, *instance, cap,
+                                         spec.recordHistory);
+    row.member = model.toString();
+    row.rounds = run.rounds;
+    row.completed = run.completed;
+    row.history = std::move(run.history);
+    return row;
+  }
+
+  // Adversary-driven tree dynamics: materialize this instance's member
+  // list (factories are lazy closures — construction is cheap) and run
+  // the one member this position addresses.
+  const std::vector<PortfolioMember> members = membersFromSpecs(
+      resolvedScenarioMemberSpecs(spec), plan.n, plan.instanceSeed);
+  const PortfolioMember& member = members[plan.memberIndex];
+  const std::unique_ptr<Adversary> adversary = member.make();
+  BroadcastRun run;
+  if (spec.objective == Objective::kGossip) {
+    const std::size_t cap =
+        spec.roundCap != 0 ? spec.roundCap : defaultGossipRoundCap(plan.n);
+    run = runAdversaryGossip(plan.n, *adversary, cap, spec.recordHistory);
+  } else {
+    const std::size_t cap =
+        spec.roundCap != 0 ? spec.roundCap : defaultRoundCap(plan.n);
+    run = runAdversary(plan.n, *adversary, cap, spec.recordHistory);
+  }
+  row.member = member.name;
+  row.rounds = run.rounds;
+  row.completed = run.completed;
+  row.history = std::move(run.history);
+  return row;
+}
+
+std::vector<SweepInstance> aggregateScenarioInstances(
+    const ScenarioSpec& spec, const std::vector<SweepRow>& rows) {
+  const std::size_t width = scenarioMembersPerInstance(spec);
+  const std::size_t instanceCount = spec.sizes.size() * spec.seedsPerSize;
+  DYNBCAST_ASSERT(rows.size() == instanceCount * width);
+  const SeedSequence seeds(spec.masterSeed);
+  std::vector<SweepInstance> instances;
+  instances.reserve(instanceCount);
+  for (std::size_t p = 0; p < instanceCount; ++p) {
+    SweepInstance aggregate;
+    aggregate.n = spec.sizes[p / spec.seedsPerSize];
+    aggregate.seedIndex = p % spec.seedsPerSize;
+    aggregate.instanceSeed = seeds.at(p);
+    for (std::size_t m = 0; m < width; ++m) {
+      const SweepRow& row = rows[p * width + m];
+      // History stays in rows only — copying the per-round metrics here
+      // would double the sweep's dominant allocation at large n.
+      aggregate.portfolio.entries.push_back(
+          {row.member, row.rounds, row.completed, {}});
+      if (row.completed && row.rounds > aggregate.portfolio.bestRounds) {
+        aggregate.portfolio.bestRounds = row.rounds;
+        aggregate.portfolio.bestName = row.member;
+      }
+    }
+    instances.push_back(std::move(aggregate));
+  }
+  return instances;
+}
+
+std::uint64_t scenarioBeamSeed(std::uint64_t masterSeed,
+                               std::size_t sizeIndex) {
+  return SeedSequence(masterSeed ^ kBeamSeedSalt).at(sizeIndex);
+}
+
+}  // namespace dynbcast

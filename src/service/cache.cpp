@@ -1,0 +1,117 @@
+#include "src/service/cache.h"
+
+#include <utility>
+
+#include "src/service/protocol.h"
+#include "src/support/file_lock.h"
+
+namespace dynbcast {
+
+namespace {
+
+/// Parses one bucket line: `<hash16> <rounds> <0|1> <key...>`. Returns
+/// false on damage (torn tail line) — the entry is simply not found and
+/// gets recomputed.
+[[nodiscard]] bool parseBucketLine(const std::string& line,
+                                   std::string* hashHex, std::size_t* rounds,
+                                   bool* completed, std::string* key) {
+  const std::size_t s1 = line.find(' ');
+  if (s1 == std::string::npos) return false;
+  const std::size_t s2 = line.find(' ', s1 + 1);
+  if (s2 == std::string::npos) return false;
+  const std::size_t s3 = line.find(' ', s2 + 1);
+  if (s3 == std::string::npos) return false;
+  *hashHex = line.substr(0, s1);
+  const std::string roundsText = line.substr(s1 + 1, s2 - s1 - 1);
+  const std::string completedText = line.substr(s2 + 1, s3 - s2 - 1);
+  if (roundsText.empty() ||
+      roundsText.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  if (completedText != "0" && completedText != "1") return false;
+  *rounds = static_cast<std::size_t>(std::stoull(roundsText));
+  *completed = completedText == "1";
+  *key = line.substr(s3 + 1);
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string directory, std::size_t memoryCapacity)
+    : directory_(std::move(directory)), capacity_(memoryCapacity) {
+  if (enabled()) makeDirectories(directory_);
+}
+
+std::string ResultCache::bucketPath(std::uint64_t keyHash) const {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string name = "bucket-00.cache";
+  name[7] = kDigits[(keyHash >> 4) & 0xf];
+  name[8] = kDigits[keyHash & 0xf];
+  return directory_ + '/' + name;
+}
+
+void ResultCache::remember(const std::string& key, const Value& value) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.front().value = value;
+    return;
+  }
+  lru_.push_front({key, value});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+std::optional<ResultCache::Value> ResultCache::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  const std::uint64_t keyHash = fnv1a64(key);
+  {
+    MutexLock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return lru_.front().value;
+    }
+  }
+  // LRU miss: scan the key's bucket file (shared-locked whole-file
+  // read, so a concurrent appender can't hand us half a line except as
+  // the torn tail parseBucketLine already rejects).
+  const std::optional<std::string> bucket =
+      readFileIfExists(bucketPath(keyHash));
+  if (!bucket.has_value()) return std::nullopt;
+  const std::string wantHash = hex64(keyHash);
+  std::size_t lineStart = 0;
+  while (lineStart < bucket->size()) {
+    std::size_t lineEnd = bucket->find('\n', lineStart);
+    if (lineEnd == std::string::npos) lineEnd = bucket->size();
+    const std::string line = bucket->substr(lineStart, lineEnd - lineStart);
+    lineStart = lineEnd + 1;
+    std::string hashHex;
+    std::string entryKey;
+    Value value;
+    if (!parseBucketLine(line, &hashHex, &value.rounds, &value.completed,
+                         &entryKey)) {
+      continue;
+    }
+    if (hashHex != wantHash || entryKey != key) continue;
+    MutexLock lock(mutex_);
+    remember(key, value);
+    return value;
+  }
+  return std::nullopt;
+}
+
+void ResultCache::put(const std::string& key, const Value& value) {
+  if (!enabled()) return;
+  const std::uint64_t keyHash = fnv1a64(key);
+  appendLineDurable(bucketPath(keyHash),
+                    hex64(keyHash) + ' ' + std::to_string(value.rounds) +
+                        ' ' + (value.completed ? "1" : "0") + ' ' + key);
+  MutexLock lock(mutex_);
+  remember(key, value);
+}
+
+}  // namespace dynbcast

@@ -1,0 +1,86 @@
+#include "src/service/worker.h"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/engine/experiment_engine.h"
+#include "src/service/cache.h"
+#include "src/service/job.h"
+#include "src/service/manifest.h"
+#include "src/service/protocol.h"
+#include "src/support/assert.h"
+
+namespace dynbcast {
+
+WorkerReport runManifestWorker(const WorkerOptions& options) {
+  const std::optional<ManifestState> manifest =
+      loadManifest(options.manifestPath);
+  if (!manifest.has_value()) {
+    throw std::runtime_error("worker: no manifest at " +
+                             options.manifestPath);
+  }
+  const ServiceRequest request =
+      decodeCanonicalRequest(manifest->canonicalRequest);
+  const ServiceJobPlan plan = planServiceJob(request);
+  if (plan.taskCount() != manifest->taskCount) {
+    throw std::runtime_error(
+        "worker: manifest " + options.manifestPath + " declares " +
+        std::to_string(manifest->taskCount) + " tasks but its request " +
+        "plans to " + std::to_string(plan.taskCount()));
+  }
+
+  WorkerReport report;
+  const std::size_t rangeEnd = options.rangeEnd < manifest->taskCount
+                                   ? options.rangeEnd
+                                   : manifest->taskCount;
+  const std::size_t rangeBegin =
+      options.rangeBegin < rangeEnd ? options.rangeBegin : rangeEnd;
+  report.assigned = rangeEnd - rangeBegin;
+
+  std::vector<std::size_t> pending =
+      manifest->pending(rangeBegin, rangeEnd);
+  report.alreadyDone = report.assigned - pending.size();
+  if (pending.size() > options.maxTasks) {
+    report.remaining = pending.size() - options.maxTasks;
+    pending.resize(options.maxTasks);
+  }
+  if (pending.empty()) return report;
+
+  ResultCache cache(options.cacheDir);
+  std::atomic<std::size_t> cacheHits{0};
+  std::atomic<std::size_t> executed{0};
+
+  EngineConfig config;
+  config.jobs = options.jobs;
+  ExperimentEngine engine(config);
+  // The seeds map() derives are unused — every task derives its own
+  // seeds from (request, position), which is what makes re-execution by
+  // any process byte-identical.
+  (void)engine.map<char>(
+      pending.size(), 0, [&](std::size_t index, std::uint64_t) -> char {
+        const std::size_t position = pending[index];
+        const std::string key = serviceTaskKey(request, position);
+        ServiceTaskResult result;
+        if (const auto hit = cache.get(key); hit.has_value()) {
+          result.rounds = hit->rounds;
+          result.completed = hit->completed;
+          cacheHits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          result = executeServiceTask(request, position);
+          cache.put(key, {result.rounds, result.completed});
+          executed.fetch_add(1, std::memory_order_relaxed);
+        }
+        // The durability contract: the task is "done" once this record
+        // is fsynced — and only then.
+        appendTaskRecord(options.manifestPath,
+                         {position, result.rounds, result.completed});
+        return 0;
+      });
+
+  report.cacheHits = cacheHits.load(std::memory_order_relaxed);
+  report.executed = executed.load(std::memory_order_relaxed);
+  DYNBCAST_ASSERT(report.cacheHits + report.executed == pending.size());
+  return report;
+}
+
+}  // namespace dynbcast

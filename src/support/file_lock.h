@@ -1,0 +1,59 @@
+// Durable, multi-process-safe file appends for the service layer.
+//
+// The run manifest and the result-cache buckets are shared by the server
+// and N worker processes, all appending records concurrently. Two
+// primitives make that safe and durable:
+//
+//   * FileLock — RAII flock(2) on a file descriptor: exclusive for
+//     appends, shared for consistent whole-file reads. Advisory, which
+//     is sufficient — every writer in this repo goes through these
+//     helpers.
+//   * appendLineDurable — open O_APPEND, take the exclusive lock, write
+//     the record in ONE write(2) call (O_APPEND makes the offset atomic
+//     between processes), then fsync before releasing. When it returns,
+//     the record survives a kill -9 of the caller; a kill mid-call leaves
+//     at worst one torn tail line, which the manifest/cache readers
+//     tolerate by skipping unparseable records.
+//
+// Checkpointing is exactly this contract: a task is "done" once its
+// record is fsynced, and never before.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace dynbcast {
+
+/// RAII advisory lock (flock) on an open descriptor. Blocks until the
+/// lock is granted; unlocks on destruction.
+class FileLock {
+ public:
+  enum class Mode { kShared, kExclusive };
+  FileLock(int fd, Mode mode);
+  ~FileLock();
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+ private:
+  int fd_;
+};
+
+/// Appends `line` (a trailing '\n' is added) to `path`, creating the
+/// file if needed, under an exclusive flock, and fsyncs before
+/// returning. Throws std::runtime_error on I/O failure.
+void appendLineDurable(const std::string& path, const std::string& line);
+
+/// Writes `content` to `path` (create or truncate) under an exclusive
+/// flock and fsyncs before returning. The whole-file analogue of
+/// appendLineDurable, for one-shot headers.
+void writeFileDurable(const std::string& path, const std::string& content);
+
+/// Reads the whole file under a shared flock. Returns std::nullopt when
+/// the file does not exist; throws on other I/O failures.
+[[nodiscard]] std::optional<std::string> readFileIfExists(
+    const std::string& path);
+
+/// mkdir -p. Throws std::runtime_error on failure (existing is fine).
+void makeDirectories(const std::string& path);
+
+}  // namespace dynbcast

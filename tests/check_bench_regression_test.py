@@ -47,6 +47,7 @@ def sweep_doc(**overrides):
         "beam_rounds": 40,
         "transposition_hit_rate": 0.5,
         "lookahead_tt_hit_rate": 0.5,
+        "service_warm_speedup": 6.0,
     }
     doc.update(overrides)
     return doc

@@ -1,0 +1,20 @@
+# Unknown-subcommand ergonomics gate: a misspelled subcommand must fail
+# (nonzero exit) and suggest the nearest real one. Invoked by ctest with:
+#   -DBIN=<dynbcast CLI>
+#   -DSUBCOMMAND=<the misspelling to type>
+#   -DEXPECT=<the subcommand the CLI must suggest>
+execute_process(
+  COMMAND ${BIN} ${SUBCOMMAND}
+  RESULT_VARIABLE run_rc
+  OUTPUT_VARIABLE run_out
+  ERROR_VARIABLE run_err)
+if(run_rc EQUAL 0)
+  message(FATAL_ERROR
+    "'dynbcast ${SUBCOMMAND}' exited 0 — unknown subcommands must fail")
+endif()
+string(CONCAT combined "${run_out}" "${run_err}")
+if(NOT combined MATCHES "did you mean '${EXPECT}'")
+  message(FATAL_ERROR
+    "'dynbcast ${SUBCOMMAND}' did not suggest '${EXPECT}'; output was:\n"
+    "${combined}")
+endif()

@@ -1,0 +1,12 @@
+// dynbcast-lint-fixture: path=src/engine/uses_service.cpp
+
+#include "src/engine/task_plan.h"
+#include "src/service/manifest.h"
+
+namespace dynbcast {
+
+void planThroughService() {}
+
+}  // namespace dynbcast
+
+// EXPECT: 4: [layer-include] 'engine' may not include 'service' (src/service/manifest.h); allowed: {adversary, analysis, bounds, dynamics, graph, nonsplit, sim, support, tree} per tools/lint/layers.txt

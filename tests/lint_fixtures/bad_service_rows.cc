@@ -1,0 +1,19 @@
+// dynbcast-lint-fixture: path=src/service/emit_results.cpp
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+namespace dynbcast {
+
+void emitResults(const std::unordered_map<std::string, int>& byKey) {
+  const auto startedAt = std::chrono::system_clock::now();
+  for (const auto& [key, rounds] : byKey) {
+    streamTaskLine(key, rounds, startedAt);
+  }
+}
+
+}  // namespace dynbcast
+
+// EXPECT: 10: [det-wall-clock] library code (src/) must not read clocks; move timing to bench/ or tools/ — layer 'service' output must be a pure function of its seeds
+// EXPECT: 11: [det-unordered-iter] iteration order of 'byKey' is unspecified; copy to a sorted container (or use std::map) before emitting rows

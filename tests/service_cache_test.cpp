@@ -1,0 +1,106 @@
+// Result-cache semantics: disk persistence across instances (the
+// cross-process story), LRU eviction transparency, space-bearing keys,
+// and the disabled mode.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "src/service/cache.h"
+#include "src/support/file_lock.h"
+
+namespace dynbcast {
+namespace {
+
+class ServiceCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "dynbcast_cache_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);  // stale state from prior runs
+    makeDirectories(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ServiceCacheTest, EmptyDirectoryDisablesTheCache) {
+  ResultCache cache("");
+  EXPECT_FALSE(cache.enabled());
+  cache.put("some key", {5, true});
+  EXPECT_FALSE(cache.get("some key").has_value());
+}
+
+TEST_F(ServiceCacheTest, PutGetRoundTrip) {
+  ResultCache cache(dir_);
+  ASSERT_TRUE(cache.enabled());
+  EXPECT_FALSE(cache.get("row/1 n=8 seed=42").has_value());
+
+  cache.put("row/1 n=8 seed=42", {13, true});
+  cache.put("row/1 n=8 seed=43", {0, false});
+
+  const auto hit = cache.get("row/1 n=8 seed=42");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rounds, 13u);
+  EXPECT_TRUE(hit->completed);
+
+  const auto incomplete = cache.get("row/1 n=8 seed=43");
+  ASSERT_TRUE(incomplete.has_value());
+  EXPECT_EQ(incomplete->rounds, 0u);
+  EXPECT_FALSE(incomplete->completed);
+}
+
+TEST_F(ServiceCacheTest, AFreshInstanceReadsWhatAnotherWrote) {
+  // Two ResultCache objects over one directory model two processes: the
+  // second's LRU is cold, so a hit proves the bucket files carry it.
+  {
+    ResultCache writer(dir_);
+    writer.put("beam/1 n=16 seed=7 width=256 moves=8 div=40 searched=1",
+               {29, true});
+  }
+  ResultCache reader(dir_);
+  const auto hit =
+      reader.get("beam/1 n=16 seed=7 width=256 moves=8 div=40 searched=1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rounds, 29u);
+}
+
+TEST_F(ServiceCacheTest, KeysWithManySpacesSurviveVerbatim) {
+  ResultCache cache(dir_);
+  const std::string key =
+      "row/1 obj=broadcast dyn=rooted-tree cap=0 backend=dense "
+      "member=freeze-path:depth=3 n=8 seed=99 mpos=2";
+  cache.put(key, {4, true});
+  // Near-miss keys must not alias.
+  EXPECT_FALSE(cache.get(key + " extra").has_value());
+  const auto hit = ResultCache(dir_).get(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rounds, 4u);
+}
+
+TEST_F(ServiceCacheTest, LruEvictionFallsThroughToDisk) {
+  ResultCache cache(dir_, /*memoryCapacity=*/2);
+  cache.put("k1", {1, true});
+  cache.put("k2", {2, true});
+  cache.put("k3", {3, true});  // evicts k1 from memory, not from disk
+
+  for (int i = 1; i <= 3; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    const auto hit = cache.get(key);
+    ASSERT_TRUE(hit.has_value()) << key;
+    EXPECT_EQ(hit->rounds, static_cast<std::size_t>(i)) << key;
+  }
+}
+
+TEST_F(ServiceCacheTest, DuplicateAppendsAreIdempotent) {
+  ResultCache cache(dir_);
+  cache.put("dup", {8, true});
+  cache.put("dup", {8, true});
+  const auto hit = ResultCache(dir_).get("dup");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->rounds, 8u);
+}
+
+}  // namespace
+}  // namespace dynbcast

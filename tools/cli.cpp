@@ -1,9 +1,12 @@
 #include "tools/cli.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cmath>
 #include <exception>
 #include <iostream>
+#include <limits>
 #include <map>
 
 #include "bench/driver.h"
@@ -14,6 +17,9 @@
 #include "src/bounds/theorem.h"
 #include "src/dynamics/registry.h"
 #include "src/engine/scenario.h"
+#include "src/service/client.h"
+#include "src/service/server.h"
+#include "src/service/worker.h"
 #include "src/support/options.h"
 #include "src/support/table.h"
 
@@ -62,6 +68,19 @@ int usage(std::ostream& os) {
         "             [--n=16] [--seed=7] [--beam=256] [--restarts=3]\n"
         "  list       registered adversaries, the dynamics model zoo, and "
         "scenario vocabulary\n"
+        "  serve      experiment service: checkpointed manifests, "
+        "spec-keyed result\n"
+        "             cache, optional worker-process sharding\n"
+        "             --socket=PATH --state=DIR [--workers=N] [--jobs=J]\n"
+        "             [--max-requests=K]\n"
+        "  submit     run a sweep through a running server (same flags "
+        "as sweep,\n"
+        "             plus --socket=PATH; --csv output is byte-identical "
+        "to sweep's)\n"
+        "  work       execute a manifest's unfinished tasks "
+        "(server workers run this)\n"
+        "             --manifest=PATH [--cache=DIR] [--jobs=J] "
+        "[--range=A:B]\n"
         "\n"
         "adversary SPECS are ';'-separated registry spec strings, e.g.\n"
         "  --adversaries=\"static-path;freeze-path:depth=3;beam:width=64\"\n"
@@ -128,6 +147,76 @@ void emitSummary(const std::vector<SweepRow>& rows) {
             << summaryTable(rows).render() << '\n';
 }
 
+/// The Theorem 3.1 bracket table: one row per size, best-of portfolio
+/// and beam witness vs the paper's bounds. Shared by `sweep` (direct
+/// execution) and `submit` (served execution) — byte-identical output
+/// is a requirement, so there is exactly one renderer.
+[[nodiscard]] TextTable thm31Table(
+    const std::vector<std::size_t>& sizes, std::size_t replicates,
+    const std::vector<SweepInstance>& instances,
+    const std::vector<std::size_t>& beamRounds, bool* anyViolation) {
+  TextTable table({"n", "lower bound", "portfolio t*", "beam witness t*",
+                   "best t*", "upper bound", "t*/n", "upper ok"});
+  *anyViolation = false;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const std::size_t n = sizes[i];
+    // Portfolio t* for this n: best over its --seeds replicates (the
+    // instances are size-major, replicates contiguous).
+    std::size_t portfolioBest = 0;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      portfolioBest = std::max(
+          portfolioBest, instances[i * replicates + r].portfolio.bestRounds);
+    }
+    const std::size_t beam = beamRounds[i];
+    const std::size_t best = std::max(portfolioBest, beam);
+    const TheoremCheck check = checkTheorem31(n, best);
+    *anyViolation |= !check.withinUpper;
+    table.row()
+        .add(static_cast<std::uint64_t>(n))
+        .add(check.lower)
+        .add(static_cast<std::uint64_t>(portfolioBest))
+        .add(beam == 0 ? std::string("-") : std::to_string(beam))
+        .add(static_cast<std::uint64_t>(best))
+        .add(check.upper)
+        .add(check.ratio, 3)
+        .add(check.withinUpper ? "yes" : "VIOLATION");
+  }
+  return table;
+}
+
+void emitPerAdversaryDetail(const std::vector<SweepInstance>& instances) {
+  if (instances.empty()) return;
+  // The detail rows come straight from the sweep — no second run.
+  const SweepInstance& last = instances.back();
+  std::cout << "per-adversary detail at the largest n:\n";
+  TextTable per({"adversary", "t*", "t*/n", "completed"});
+  for (const auto& e : last.portfolio.entries) {
+    per.row()
+        .add(e.name)
+        .add(static_cast<std::uint64_t>(e.rounds))
+        .add(static_cast<double>(e.rounds) / static_cast<double>(last.n), 3)
+        .add(e.completed ? "yes" : "no");
+  }
+  std::cout << per.render() << '\n';
+}
+
+/// The model-zoo sweep table: one row per (n, seed, member) run. Shared
+/// by `sweep --dynamics=SPEC` and `submit` for the same reason as
+/// thm31Table.
+[[nodiscard]] TextTable dynamicsRowsTable(const std::vector<SweepRow>& rows) {
+  TextTable table({"n", "seed", "member", "rounds", "rounds/n", "completed"});
+  for (const SweepRow& row : rows) {
+    table.row()
+        .add(static_cast<std::uint64_t>(row.n))
+        .add(static_cast<std::uint64_t>(row.seedIndex))
+        .add(row.member)
+        .add(static_cast<std::uint64_t>(row.rounds))
+        .add(static_cast<double>(row.rounds) / static_cast<double>(row.n), 3)
+        .add(row.completed ? "yes" : "no");
+  }
+  return table;
+}
+
 /// `sweep --dynamics=SPEC` for anything but the default rooted-tree
 /// dynamics: the model-zoo sweep. Same driver dialect, unified rows,
 /// deterministic at any --jobs.
@@ -152,20 +241,7 @@ int runDynamicsSweep(BenchDriver& driver, const std::string& dynamicsText,
                      DynamicsSpec::parse(dynamicsText).toString() +
                      ", backend=" + backendChoiceName(scenario.backend));
   const ScenarioResult result = runScenario(scenario, driver.engine());
-
-  TextTable table(
-      {"n", "seed", "member", "rounds", "rounds/n", "completed"});
-  for (const ScenarioRow& row : result.rows) {
-    table.row()
-        .add(static_cast<std::uint64_t>(row.n))
-        .add(static_cast<std::uint64_t>(row.seedIndex))
-        .add(row.member)
-        .add(static_cast<std::uint64_t>(row.rounds))
-        .add(static_cast<double>(row.rounds) / static_cast<double>(row.n),
-             3)
-        .add(row.completed ? "yes" : "no");
-  }
-  driver.emit(table);
+  driver.emit(dynamicsRowsTable(result.rows));
   if (wantSummary) emitSummary(result.rows);
   return 0;
 }
@@ -249,54 +325,10 @@ int runSweep(int argc, const char* const* argv) {
                      : 0;
         });
 
-    TextTable table({"n", "lower bound", "portfolio t*", "beam witness t*",
-                     "best t*", "upper bound", "t*/n", "upper ok"});
     bool anyViolation = false;
-    const std::size_t replicates = driver.seedsPerSize();
-    for (std::size_t i = 0; i < sizes.size(); ++i) {
-      const std::size_t n = sizes[i];
-      // Portfolio t* for this n: best over its --seeds replicates (the
-      // instances are size-major, replicates contiguous).
-      std::size_t portfolioBest = 0;
-      for (std::size_t r = 0; r < replicates; ++r) {
-        portfolioBest = std::max(
-            portfolioBest,
-            sweep.instances[i * replicates + r].portfolio.bestRounds);
-      }
-      const std::size_t beamRounds = beamRows[i];
-      const std::size_t best = std::max(portfolioBest, beamRounds);
-      const TheoremCheck check = checkTheorem31(n, best);
-      anyViolation |= !check.withinUpper;
-      table.row()
-          .add(static_cast<std::uint64_t>(n))
-          .add(check.lower)
-          .add(static_cast<std::uint64_t>(portfolioBest))
-          .add(beamRounds == 0 ? std::string("-")
-                               : std::to_string(beamRounds))
-          .add(static_cast<std::uint64_t>(best))
-          .add(check.upper)
-          .add(check.ratio, 3)
-          .add(check.withinUpper ? "yes" : "VIOLATION");
-    }
-    driver.emit(table);
-
-    if (!sweep.instances.empty()) {
-      // The detail rows come straight from the sweep — no second run.
-      const SweepInstance& last = sweep.instances.back();
-      std::cout << "per-adversary detail at the largest n:\n";
-      TextTable per({"adversary", "t*", "t*/n", "completed"});
-      for (const auto& e : last.portfolio.entries) {
-        per.row()
-            .add(e.name)
-            .add(static_cast<std::uint64_t>(e.rounds))
-            .add(static_cast<double>(e.rounds) /
-                     static_cast<double>(last.n),
-                 3)
-            .add(e.completed ? "yes" : "no");
-      }
-      std::cout << per.render() << '\n';
-    }
-
+    driver.emit(thm31Table(sizes, driver.seedsPerSize(), sweep.instances,
+                           beamRows, &anyViolation));
+    emitPerAdversaryDetail(sweep.instances);
     if (wantSummary) emitSummary(sweep.rows);
 
     if (anyViolation) {
@@ -507,7 +539,177 @@ int runList(int argc, const char* const* argv) {
                  "    once a cell has >= 8 replicates — rows are "
                  "batch-invariant)\n"
                  "  --summary prints per-(n, member) stats over --seeds "
-                 "replicates\n";
+                 "replicates\n"
+                 "\nservice mode (serve/submit/work subcommands):\n"
+                 "  dynbcast serve --socket=PATH --state=DIR [--workers=N] "
+                 "runs the experiment\n"
+                 "    service: jobs are checkpointed to a run manifest and "
+                 "results cached by\n"
+                 "    canonical spec + seed + position, so interrupted jobs "
+                 "resume and\n"
+                 "    overlapping requests execute only their delta\n"
+                 "  dynbcast submit --socket=PATH <sweep flags> runs a "
+                 "sweep through the\n"
+                 "    service; its --csv output is byte-identical to "
+                 "`dynbcast sweep`'s\n"
+                 "  dynbcast work --manifest=PATH executes a job's "
+                 "unfinished tasks (the\n"
+                 "    server shards jobs by spawning these)\n";
+    return 0;
+  });
+}
+
+namespace {
+
+/// The running binary's own path, for the server to exec as worker
+/// processes. Linux-specific by design — same trust boundary as the
+/// unix socket the service listens on.
+[[nodiscard]] std::string selfExecutablePath() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n <= 0) return "";
+  buffer[n] = '\0';
+  return std::string(buffer);
+}
+
+void emitServiceStats(const SubmitOutcome& outcome) {
+  std::cout << "service: job=" << outcome.jobId
+            << " tasks=" << outcome.tasks << " resumed=" << outcome.resumed
+            << " cache-hits=" << outcome.cacheHits
+            << " executed=" << outcome.executed << '\n';
+}
+
+}  // namespace
+
+int runServe(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    ServerOptions server;
+    server.socketPath = opts.getString("socket", "");
+    server.stateDir = opts.getString("state", "");
+    if (server.socketPath.empty() || server.stateDir.empty()) {
+      throw std::invalid_argument(
+          "serve: --socket=PATH and --state=DIR are required");
+    }
+    server.workers = opts.getUInt("workers", 0);
+    server.jobsPerWorker = opts.getUInt("jobs", 1);
+    server.maxRequests = opts.getUInt("max-requests", 0);
+    // Fault injection for resume tests: first-wave workers stop after
+    // this many tasks, exactly as if killed at a task boundary.
+    server.workerMaxTasks = opts.getUInt("worker-max-tasks", 0);
+    server.workerBinary = opts.getString("worker-binary", "");
+    if (server.workers > 0 && server.workerBinary.empty()) {
+      server.workerBinary = selfExecutablePath();
+      if (server.workerBinary.empty()) {
+        throw std::invalid_argument(
+            "serve: cannot resolve the worker binary; pass "
+            "--worker-binary=PATH");
+      }
+    }
+    std::cout << "dynbcast serve: socket=" << server.socketPath
+              << " state=" << server.stateDir
+              << " workers=" << server.workers
+              << " jobs=" << server.jobsPerWorker << std::endl;
+    return runServer(server);
+  });
+}
+
+int runSubmit(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    const std::string socket = opts.getString("socket", "");
+    if (socket.empty()) {
+      throw std::invalid_argument("submit: --socket=PATH is required");
+    }
+    ServiceRequest request;
+    request.scenario.objective =
+        parseObjective(opts.getString("objective", "broadcast"));
+    request.scenario.dynamics = opts.getString("dynamics", "rooted-tree");
+    request.scenario.sizes =
+        parseSizeList(opts.getString("sizes", "4:128:2"));
+    request.scenario.masterSeed = opts.getUInt("seed", 1);
+    request.scenario.seedsPerSize = opts.getUInt("seeds", 1);
+    request.scenario.roundCap = opts.getUInt("cap", 0);
+    request.scenario.adversaries =
+        splitSpecList(opts.getString("adversaries", ""));
+    request.scenario.backend =
+        parseBackendChoice(opts.getString("backend", "auto"));
+    request.beamMaxN = opts.getUInt("beam-maxn", 32);
+    request.beamWidth = opts.getUInt("beam-width", 256);
+    // Fail bad specs client-side with the registry's full message
+    // instead of a round-trip to the server.
+    validateScenario(request.scenario);
+
+    // PROGRESS goes to stderr so stdout stays table-shaped like sweep's.
+    const SubmitOutcome outcome =
+        submitRequest(socket, request, &std::cerr);
+
+    const auto emitTable = [&](const TextTable& table) {
+      std::cout << table.render() << '\n';
+      if (opts.has("csv")) {
+        const std::string path = opts.getString("csv", "sweep.csv");
+        writeCsv(path, table);
+        std::cout << "wrote CSV to " << path << '\n';
+      }
+    };
+
+    if (requestWantsBeamWitnesses(request)) {
+      std::cout << "THM31 — adversaries vs Theorem 3.1 (served; seed="
+                << request.scenario.masterSeed << ")\n\n";
+      bool anyViolation = false;
+      emitTable(thm31Table(request.scenario.sizes,
+                           request.scenario.seedsPerSize, outcome.instances,
+                           outcome.beamRounds, &anyViolation));
+      emitPerAdversaryDetail(outcome.instances);
+      if (opts.has("summary")) emitSummary(outcome.rows);
+      emitServiceStats(outcome);
+      if (anyViolation) {
+        std::cout << "RESULT: UPPER BOUND VIOLATION DETECTED (bug!)\n";
+        return 1;
+      }
+      std::cout << "RESULT: all runs within the theorem's upper bound.\n";
+      return 0;
+    }
+
+    std::cout << "SWEEP — dynamics="
+              << DynamicsSpec::parse(request.scenario.dynamics).toString()
+              << ", backend=" << backendChoiceName(request.scenario.backend)
+              << " (served; seed=" << request.scenario.masterSeed << ")\n\n";
+    emitTable(dynamicsRowsTable(outcome.rows));
+    if (opts.has("summary")) emitSummary(outcome.rows);
+    emitServiceStats(outcome);
+    return 0;
+  });
+}
+
+int runWork(int argc, const char* const* argv) {
+  return guarded([&] {
+    const Options opts(argc, argv);
+    WorkerOptions work;
+    work.manifestPath = opts.getString("manifest", "");
+    if (work.manifestPath.empty()) {
+      throw std::invalid_argument("work: --manifest=PATH is required");
+    }
+    work.cacheDir = opts.getString("cache", "");
+    work.jobs = opts.getUInt("jobs", 1);
+    work.maxTasks = opts.getUInt(
+        "max-tasks", std::numeric_limits<std::size_t>::max());
+    const std::string range = opts.getString("range", "");
+    if (!range.empty()) {
+      const std::size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("work: --range expects BEGIN:END, got '" +
+                                    range + "'");
+      }
+      work.rangeBegin = std::stoull(range.substr(0, colon));
+      work.rangeEnd = std::stoull(range.substr(colon + 1));
+    }
+    const WorkerReport report = runManifestWorker(work);
+    std::cout << "work: assigned=" << report.assigned
+              << " already-done=" << report.alreadyDone
+              << " cache-hits=" << report.cacheHits
+              << " executed=" << report.executed
+              << " remaining=" << report.remaining << '\n';
     return 0;
   });
 }
@@ -520,13 +722,17 @@ int dispatch(int argc, const char* const* argv) {
   if (subcommand == "duel") return runDuel(argc - 1, argv + 1);
   if (subcommand == "witness") return runWitness(argc - 1, argv + 1);
   if (subcommand == "list") return runList(argc - 1, argv + 1);
+  if (subcommand == "serve") return runServe(argc - 1, argv + 1);
+  if (subcommand == "submit") return runSubmit(argc - 1, argv + 1);
+  if (subcommand == "work") return runWork(argc - 1, argv + 1);
   if (subcommand == "help" || subcommand == "--help" || subcommand == "-h") {
     usage(std::cout);
     return 0;
   }
   std::cerr << "dynbcast: unknown subcommand '" << subcommand << "'";
-  const std::string suggestion = closestMatch(
-      subcommand, {"sweep", "portfolio", "duel", "witness", "list"});
+  const std::string suggestion =
+      closestMatch(subcommand, {"sweep", "portfolio", "duel", "witness",
+                                "list", "serve", "submit", "work"});
   if (!suggestion.empty()) {
     std::cerr << "; did you mean '" << suggestion << "'?";
   }

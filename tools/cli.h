@@ -17,6 +17,15 @@
 //   witness    offline beam witness search at one n, with verification.
 //   list       registered adversary specs, the dynamics model zoo, and
 //              the scenario vocabulary.
+//   serve      the experiment service: accepts submit requests over a
+//              unix socket, executes them on a checkpointed manifest
+//              with a spec-keyed result cache, optionally sharded
+//              across worker processes (src/service/).
+//   submit     client for serve: sends one sweep-shaped request and
+//              renders the streamed results exactly as `sweep` would —
+//              the --csv artifact is byte-identical.
+//   work       executes a manifest's unfinished tasks (what the
+//              server's worker processes run; also usable standalone).
 //
 // Every subcommand that sweeps sizes speaks the shared bench/driver
 // dialect (--sizes/--seed/--seeds/--jobs/--csv) and accepts --summary
@@ -44,6 +53,9 @@ int runPortfolio(int argc, const char* const* argv);
 int runDuel(int argc, const char* const* argv);
 int runWitness(int argc, const char* const* argv);
 int runList(int argc, const char* const* argv);
+int runServe(int argc, const char* const* argv);
+int runSubmit(int argc, const char* const* argv);
+int runWork(int argc, const char* const* argv);
 
 /// Full-argv dispatcher used by the dynbcast binary: argv[1] selects the
 /// subcommand; no/unknown subcommand prints usage.

@@ -569,7 +569,8 @@ void checkDeterminism(LintContext& ctx, const SourceFile& file) {
 bool producesRows(const SourceFile& file) {
   if (startsWith(file.path, "tools/") || startsWith(file.path, "bench/") ||
       startsWith(file.path, "src/analysis/") ||
-      startsWith(file.path, "src/engine/"))
+      startsWith(file.path, "src/engine/") ||
+      startsWith(file.path, "src/service/"))
     return true;
   for (const std::string& line : file.raw) {
     if (line.find("src/analysis/csv.h") != std::string::npos ||
